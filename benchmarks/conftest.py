@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper figure/table end-to-end, prints
+the same rows/series the paper reports (run with ``-s`` to see them),
+and asserts the qualitative claims — who wins, by roughly what factor.
+Experiment drivers run for seconds, so every bench uses
+``benchmark.pedantic`` with a single round rather than letting
+pytest-benchmark autocalibrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,38 @@
+"""Figure 2 — representative ReAct reasoning traces.
+
+Regenerates the qualitative panel of the paper: a multiobjective
+StartJob decision, an opportunistic BackfillJob, a resource-blocked
+Delay, a closing Stop, and a constraint-violation recovery with
+environment feedback appended to the scratchpad.
+"""
+
+from repro.experiments.figures import figure2
+
+
+def test_fig2_reasoning_traces(bench_once):
+    samples = bench_once(
+        figure2,
+        scenario="heterogeneous_mix",
+        n_jobs=20,
+        model="claude-3.7-sim",
+        seed=0,
+        hallucination_rate=0.25,
+    )
+
+    print()
+    for sample in samples:
+        print(sample.render())
+        print("-" * 60)
+
+    kinds = {s.action.split("(")[0] for s in samples}
+    # The four action verbs of §2.2 all appear in one short run.
+    assert "StartJob" in kinds
+    assert "Delay" in kinds
+    assert "Stop" in kinds
+    # Every decision carries an interpretable natural-language thought.
+    assert all(s.thought for s in samples)
+    # The constraint-recovery trace (Fig. 2 bottom-right): a rejected
+    # action with environment feedback naming the resource shortfall.
+    rejected = [s for s in samples if not s.accepted]
+    assert rejected, "expected at least one rejected proposal"
+    assert any("cannot be started" in s.feedback for s in rejected)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Convoy effect study: Long-Job-Dominant scheduling (paper §3.1/§3.5).
+
+The Long-Job-Dominant scenario mixes 20% extremely long 128-node jobs
+with many short 2-node jobs. A strict FCFS queue lets one long job at
+the head block everything behind it (the *convoy effect*); backfilling
+and reasoning-based scheduling dodge it.
+
+This example runs FCFS, EASY backfilling, SJF and both simulated LLM
+agents on the same instance and reports the wait-time distribution of
+the short jobs — the users who actually feel the convoy.
+
+Run:  python examples/convoy_effect.py
+"""
+
+import numpy as np
+
+from repro import create_scheduler, generate_workload, simulate
+
+N_JOBS = 60
+SEED = 11
+SCHEDULERS = ("fcfs", "fcfs_backfill", "sjf", "claude-3.7-sim", "o4-mini-sim")
+
+
+def main() -> None:
+    jobs = generate_workload("long_job_dominant", N_JOBS, seed=SEED)
+    long_ids = {j.job_id for j in jobs if j.duration >= 50_000.0}
+    short_ids = {j.job_id for j in jobs} - long_ids
+    print(
+        f"Long-Job-Dominant: {len(long_ids)} convoy-forming jobs "
+        f"(50000s × 128 nodes) among {len(short_ids)} short jobs "
+        f"(500s × 2 nodes)\n"
+    )
+
+    header = (
+        f"{'scheduler':16s} {'short-job wait: mean':>22s} {'median':>10s} "
+        f"{'p95':>10s} {'long-job wait mean':>20s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in SCHEDULERS:
+        result = simulate(jobs, create_scheduler(name, seed=SEED))
+        result.verify_capacity()
+        short_waits = np.array(
+            [
+                r.wait_time
+                for r in result.records
+                if r.job.job_id in short_ids
+            ]
+        )
+        long_waits = np.array(
+            [r.wait_time for r in result.records if r.job.job_id in long_ids]
+        )
+        print(
+            f"{name:16s} {short_waits.mean():>20.0f}s "
+            f"{np.median(short_waits):>9.0f}s "
+            f"{np.percentile(short_waits, 95):>9.0f}s "
+            f"{long_waits.mean():>19.0f}s"
+        )
+
+    print(
+        "\nReading: FCFS short jobs queue behind long-running 128-node "
+        "jobs; backfilling and the LLM agents start them opportunistically "
+        "while preserving the long jobs' progress (paper Fig. 3, "
+        "Long Job Dominant panel)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Plugging a custom LLM backend into the ReAct agent.
+
+The agent's model layer is the :class:`repro.core.backends.LLMBackend`
+protocol: anything that maps a rendered prompt to ReAct text works —
+the simulated profiles shipped with this library, a real API client,
+or, as here, a tiny hand-written "greedy-shortest" model. The prompt
+construction, scratchpad memory, action parsing and constraint
+enforcement all stay identical, which is exactly the paper's
+separation of reasoning from enforcement (§2.4).
+
+Run:  python examples/custom_backend.py
+"""
+
+from repro import compute_metrics, create_scheduler, generate_workload, simulate
+from repro.core import ReActSchedulingAgent
+from repro.core.backends import LLMReply
+from repro.core.prompt import PromptContext, estimate_tokens
+from repro.sim.actions import BackfillJob, Delay, StartJob, Stop
+
+
+class GreedyShortestBackend:
+    """A minimal hand-rolled 'model': always run the shortest feasible
+    job, with a one-line thought. Ignores fairness entirely — compare
+    its metrics against the shipped multiobjective profiles."""
+
+    name = "greedy-shortest"
+
+    def reset(self) -> None:  # no internal state
+        pass
+
+    def complete(self, prompt: str, context: PromptContext) -> LLMReply:
+        view = context.view
+        if view.all_jobs_scheduled:
+            text = "Thought: every job has been scheduled.\nAction: Stop"
+        else:
+            feasible = view.feasible_jobs()
+            if not feasible:
+                text = (
+                    "Thought: nothing fits the free resources; waiting for "
+                    "a completion.\nAction: Delay"
+                )
+            else:
+                pick = min(feasible, key=lambda j: (j.walltime, j.job_id))
+                verb = (
+                    StartJob(pick.job_id)
+                    if pick.job_id == view.queued[0].job_id
+                    else BackfillJob(pick.job_id)
+                )
+                text = (
+                    f"Thought: Job {pick.job_id} is the shortest feasible "
+                    f"job (walltime={pick.walltime:g}s); finishing it first "
+                    f"maximizes throughput.\nAction: {verb.render()}"
+                )
+        return LLMReply(
+            text=text,
+            latency_s=0.05,  # hand-written rules are fast
+            input_tokens=estimate_tokens(prompt),
+            output_tokens=estimate_tokens(text),
+        )
+
+
+def main() -> None:
+    jobs = generate_workload("heterogeneous_mix", 40, seed=3)
+
+    custom = ReActSchedulingAgent(GreedyShortestBackend())
+    shipped = create_scheduler("claude-3.7-sim", seed=3)
+
+    print(f"{'agent':18s} {'wait':>8s} {'fairness':>9s} {'util':>7s} "
+          f"{'makespan':>9s}")
+    for agent in (custom, shipped):
+        result = simulate(jobs, agent)
+        result.verify_capacity()
+        report = compute_metrics(result)
+        print(
+            f"{agent.name:18s} {report['avg_wait_time']:>7.0f}s "
+            f"{report['wait_fairness']:>9.3f} "
+            f"{report['node_utilization']:>7.3f} "
+            f"{report['makespan']:>8.0f}s"
+        )
+
+    print(
+        "\nThe greedy backend minimizes waits for small jobs but ignores "
+        "the prompt's fairness objective; the shipped multiobjective "
+        "profile trades a little throughput for a fairer wait "
+        "distribution — the balance the paper evaluates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Evaluating the Efficacy of LLM-Based
+Reasoning for Multiobjective HPC Job Scheduling" (SC 2025).
+
+Quickstart
+----------
+>>> from repro import generate_workload, create_scheduler, simulate, compute_metrics
+>>> jobs = generate_workload("heterogeneous_mix", n_jobs=60, seed=0)
+>>> result = simulate(jobs, create_scheduler("claude-3.7-sim", seed=0))
+>>> report = compute_metrics(result)
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete event HPC cluster simulator.
+``repro.workloads``
+    The paper's seven workload scenarios + Polaris trace substitute.
+``repro.schedulers``
+    FCFS, SJF, EASY backfilling, the OR-Tools-substitute optimizer.
+``repro.core``
+    The ReAct LLM scheduling agent (prompting, scratchpad, constraint
+    feedback, simulated reasoning backends).
+``repro.metrics``
+    The seven evaluation objectives and FCFS normalization.
+``repro.experiments``
+    Per-figure reproduction drivers and the CLI.
+``repro.analysis``
+    Distribution/box-plot statistics utilities.
+"""
+
+from repro.core import create_llm_scheduler
+from repro.metrics import compute_metrics, normalize_to_baseline
+from repro.schedulers import available_schedulers, create_scheduler
+from repro.sim.simulator import HPCSimulator, simulate
+from repro.workloads import generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HPCSimulator",
+    "available_schedulers",
+    "compute_metrics",
+    "create_llm_scheduler",
+    "create_scheduler",
+    "generate_workload",
+    "normalize_to_baseline",
+    "simulate",
+    "__version__",
+]

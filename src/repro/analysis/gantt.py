@@ -1,0 +1,97 @@
+"""ASCII Gantt rendering of schedules.
+
+A quick visual audit of what a scheduler actually did — convoy effects,
+backfilled gaps and packing quality are all visible at a glance in the
+terminal, which is as close to the paper's schedule illustrations as a
+text interface gets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.schedule import ScheduleResult
+
+
+def render_gantt(
+    result: ScheduleResult,
+    *,
+    width: int = 72,
+    max_jobs: Optional[int] = 40,
+    char: str = "█",
+) -> str:
+    """Render one row per job: submit→start as dots (queued), start→end
+    as blocks (running), annotated with node counts.
+
+    Parameters
+    ----------
+    width:
+        Character width of the timeline.
+    max_jobs:
+        Truncate to the first *max_jobs* rows by start time
+        (``None`` = everything).
+    """
+    if not result.records:
+        return "(empty schedule)"
+    records = sorted(result.records, key=lambda r: (r.start_time, r.job.job_id))
+    if max_jobs is not None:
+        omitted = max(0, len(records) - max_jobs)
+        records = records[:max_jobs]
+    else:
+        omitted = 0
+
+    t0 = min(r.job.submit_time for r in records)
+    t1 = max(r.end_time for r in records)
+    span = max(t1 - t0, 1e-9)
+
+    def col(t: float) -> int:
+        return int(round((t - t0) / span * (width - 1)))
+
+    id_w = max(len(str(r.job.job_id)) for r in records)
+    lines = [
+        f"timeline: t={t0:g}s .. t={t1:g}s "
+        f"({span:g}s across {width} cols; '.' queued, '{char}' running)"
+    ]
+    for rec in records:
+        row = [" "] * width
+        submit_col = col(rec.job.submit_time)
+        start_col = col(rec.start_time)
+        end_col = max(col(rec.end_time), start_col + 1)
+        for i in range(submit_col, start_col):
+            row[i] = "."
+        for i in range(start_col, min(end_col, width)):
+            row[i] = char
+        lines.append(
+            f"job {rec.job.job_id:>{id_w}} |{''.join(row)}| "
+            f"{rec.job.nodes}n"
+        )
+    if omitted:
+        lines.append(f"... {omitted} more jobs not shown")
+    return "\n".join(lines)
+
+
+def utilization_sparkline(
+    result: ScheduleResult, *, width: int = 72
+) -> str:
+    """One-line node-utilization timeline using eighth-block glyphs."""
+    if not result.records:
+        return "(empty schedule)"
+    t0 = min(r.job.submit_time for r in result.records)
+    t1 = max(r.end_time for r in result.records)
+    span = max(t1 - t0, 1e-9)
+    buckets = [0.0] * width
+    for rec in result.records:
+        a = (rec.start_time - t0) / span * width
+        b = (rec.end_time - t0) / span * width
+        lo, hi = int(a), min(int(b) + 1, width)
+        for i in range(lo, hi):
+            cell_a, cell_b = i, i + 1
+            overlap = max(0.0, min(b, cell_b) - max(a, cell_a))
+            buckets[i] += overlap * rec.job.nodes
+    glyphs = " ▁▂▃▄▅▆▇█"
+    cap = float(result.total_nodes)
+    chars = []
+    for value in buckets:
+        frac = min(value / cap, 1.0)
+        chars.append(glyphs[int(round(frac * (len(glyphs) - 1)))])
+    return "util |" + "".join(chars) + "|"

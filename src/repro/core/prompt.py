@@ -1,0 +1,142 @@
+"""Prompt construction (paper §3.4).
+
+Renders the exact prompt structure the paper shows: role preamble,
+system capacity, current time, available resources, running/completed/
+waiting job listings, the scratchpad, the multiobjective goal
+statement with trade-off guidance, and the required output format.
+
+Backends receive both the rendered text (what a real API would see)
+and a structured :class:`PromptContext` (so the simulated reasoner
+does not have to re-parse its own rendering; a real-API backend would
+ignore the context).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scratchpad import Scratchpad
+from repro.sim.simulator import SystemView
+
+#: The objective block, verbatim from the paper's prompt example.
+OBJECTIVES_BLOCK = """\
+Your scheduling objectives are:
+You must balance all of the following:
+- Fairness: Minimize variance in user wait times. Avoid starving any user.
+- Makespan: Minimize total time to finish all jobs.
+- Utilization: Maximize Node & memory usage over time (avoid idle resources).
+- Throughput: Maximize the number of jobs completed per unit time.
+- Feasibility: Do not exceed {nodes} Nodes or {memory:g} GB memory at any time.
+
+Trade-offs are allowed. Do not over-optimize one metric at the expense of others.
+For example:
+- Prioritizing a long-waiting job improves fairness, but may slightly hurt makespan.
+- Choosing short jobs improves throughput, but may increase wait time for large jobs."""
+
+#: The instruction/output block, verbatim structure from the paper.
+DECIDE_BLOCK = """\
+Decide:
+(1) Which job should be started now (if any)?
+(2) Justify your decision in thought.
+(3) Return only one of:
+- StartJob(job_id=X)
+- BackfillJob(job_id=Y)
+- Delay
+- Stop (when all jobs have been scheduled)
+
+Output format:
+Thought: <your reasoning>
+Action: <your action>"""
+
+
+@dataclass(frozen=True)
+class PromptContext:
+    """Structured companion to the rendered prompt text."""
+
+    view: SystemView
+    scratchpad: Scratchpad
+    prompt_text: str
+
+    @property
+    def now(self) -> float:
+        return self.view.now
+
+
+@dataclass
+class PromptBuilder:
+    """Builds §3.4-style prompts from a system view + scratchpad."""
+
+    preamble: str = (
+        "You are an expert HPC resource manager, and your task is to "
+        "schedule jobs in a high-performance computing (HPC) environment. "
+        "Use the current system state, job queue, scratchpad (decision "
+        "history), and fairness indicators to make well-balanced decisions."
+    )
+
+    def build(self, view: SystemView, scratchpad: Scratchpad) -> PromptContext:
+        """Render the full prompt for one decision point."""
+        lines: list[str] = [self.preamble, ""]
+        lines.append(
+            f"System capacity: {view.total_nodes} nodes, "
+            f"{view.total_memory_gb:g} GB memory"
+        )
+        lines.append(f"Current time: {view.now:g}")
+        lines.append(f"Available Nodes: {view.free_nodes}")
+        lines.append(f"Available Memory: {view.free_memory_gb:g} GB")
+
+        lines.append("Running Jobs:")
+        if view.running:
+            for run in sorted(view.running, key=lambda r: r.job.job_id):
+                lines.append(
+                    f"- Job {run.job.job_id}: {run.job.nodes} nodes, "
+                    f"{run.job.memory_gb:g} GB, started t={run.start_time:g}, "
+                    f"user={run.job.user}"
+                )
+        else:
+            lines.append("None")
+
+        lines.append("Completed Jobs:")
+        if view.completed_ids:
+            ids = ", ".join(str(i) for i in view.completed_ids)
+            lines.append(f"- {ids}")
+        else:
+            lines.append("None")
+
+        lines.append("Waiting Jobs (eligible to schedule):")
+        if view.queued:
+            for job in view.queued:
+                wait = view.now - job.submit_time
+                lines.append(
+                    f"- Job {job.job_id}: {job.nodes} nodes, "
+                    f"{job.memory_gb:g} GB, walltime={job.walltime:g}, "
+                    f"user={job.user}, waiting={wait:g}s"
+                )
+        else:
+            lines.append("None")
+
+        if view.blocked_jobs:
+            lines.append(
+                f"Jobs held by unmet dependencies (not yet eligible): "
+                f"{view.blocked_jobs}"
+            )
+
+        lines.append("")
+        lines.append("# Scratchpad (Decision History)")
+        lines.append(scratchpad.render())
+        lines.append("")
+        lines.append(
+            OBJECTIVES_BLOCK.format(
+                nodes=view.total_nodes, memory=view.total_memory_gb
+            )
+        )
+        lines.append("")
+        lines.append(DECIDE_BLOCK)
+
+        return PromptContext(
+            view=view, scratchpad=scratchpad, prompt_text="\n".join(lines)
+        )
+
+
+def estimate_tokens(text: str) -> int:
+    """Cheap token estimate (≈4 chars/token) for overhead accounting."""
+    return max(1, len(text) // 4)

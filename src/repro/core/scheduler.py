@@ -1,0 +1,26 @@
+"""Registers the LLM agents with the central scheduler registry.
+
+Importing :mod:`repro.core` (or top-level :mod:`repro`) makes
+``create_scheduler("claude-3.7-sim")`` and
+``create_scheduler("o4-mini-sim")`` work alongside the baselines.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import create_llm_scheduler
+from repro.core.profiles import MODEL_PROFILES
+from repro.schedulers.registry import register_scheduler
+
+
+def _make_factory(model_name: str):
+    def factory(seed: int = 0, **kwargs):
+        return create_llm_scheduler(model_name, seed=seed, **kwargs)
+
+    return factory
+
+
+for _name in MODEL_PROFILES:
+    register_scheduler(_name, _make_factory(_name))
+
+#: Names of the LLM schedulers, in the paper's figure order.
+LLM_SCHEDULER_NAMES: tuple[str, ...] = tuple(MODEL_PROFILES)

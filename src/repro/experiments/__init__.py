@@ -1,0 +1,25 @@
+"""Experiment harness: one driver per paper figure.
+
+Each ``figure*`` function in :mod:`repro.experiments.figures`
+regenerates the corresponding table/figure data; the matching pytest
+benchmark in ``benchmarks/`` runs it and prints the same rows/series
+the paper reports (see EXPERIMENTS.md for the paper-vs-measured
+record). :mod:`repro.experiments.cli` exposes everything as the
+``repro-sched`` command.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_SCHEDULERS,
+    ExperimentRun,
+    OverheadSummary,
+    run_matrix,
+    run_single,
+)
+
+__all__ = [
+    "DEFAULT_SCHEDULERS",
+    "ExperimentRun",
+    "OverheadSummary",
+    "run_matrix",
+    "run_single",
+]

@@ -1,0 +1,246 @@
+"""Command-line interface: ``repro-sched``.
+
+Subcommands regenerate each paper figure's data as an ASCII table, run
+ad-hoc single simulations, and list registered scenarios/schedulers::
+
+    repro-sched fig3                 # six-scenario comparison
+    repro-sched fig4 --sizes 10 40 100
+    repro-sched fig5 | fig6 | fig7 | fig8
+    repro-sched fig2                 # reasoning traces
+    repro-sched run --scenario long_job_dominant --scheduler claude-3.7-sim -n 60
+    repro-sched list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import figures, report
+from repro.experiments.runner import DEFAULT_SCHEDULERS, run_single
+from repro.metrics.normalize import normalize_to_baseline
+from repro.schedulers.registry import available_schedulers
+from repro.workloads.scenarios import SCENARIOS
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0, help="workload seed")
+    p.add_argument(
+        "--scheduler-seed", type=int, default=0, help="scheduler RNG seed"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=(
+            "Reproduction harness for 'Evaluating the Efficacy of "
+            "LLM-Based Reasoning for Multiobjective HPC Job Scheduling'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p2 = sub.add_parser("fig2", help="representative reasoning traces")
+    p2.add_argument("--model", default="claude-3.7-sim")
+    p2.add_argument("--n-jobs", type=int, default=20)
+    _add_common(p2)
+
+    p3 = sub.add_parser("fig3", help="six scenarios × 60 jobs")
+    p3.add_argument("--n-jobs", type=int, default=60)
+    _add_common(p3)
+
+    p4 = sub.add_parser("fig4", help="scalability on heterogeneous mix")
+    p4.add_argument(
+        "--sizes", type=int, nargs="+", default=[10, 20, 40, 60, 80, 100]
+    )
+    _add_common(p4)
+
+    p5 = sub.add_parser("fig5", help="overhead per scenario (60 jobs)")
+    p5.add_argument("--n-jobs", type=int, default=60)
+    _add_common(p5)
+
+    p6 = sub.add_parser("fig6", help="overhead scaling with queue size")
+    p6.add_argument(
+        "--sizes", type=int, nargs="+", default=[10, 20, 40, 60, 80, 100]
+    )
+    _add_common(p6)
+
+    p7 = sub.add_parser("fig7", help="robustness over repetitions")
+    p7.add_argument("--n-jobs", type=int, default=100)
+    p7.add_argument("--repeats", type=int, default=5)
+    _add_common(p7)
+
+    p8 = sub.add_parser("fig8", help="Polaris trace evaluation")
+    p8.add_argument("--n-jobs", type=int, default=100)
+    p8.add_argument("--trace-seed", type=int, default=2024)
+    _add_common(p8)
+
+    pr = sub.add_parser("run", help="one scenario × scheduler simulation")
+    pr.add_argument("--scenario", required=True, choices=sorted(SCENARIOS))
+    pr.add_argument("--scheduler", required=True)
+    pr.add_argument("-n", "--n-jobs", type=int, default=60)
+    pr.add_argument(
+        "--arrival-mode", choices=["scenario", "zero"], default="scenario"
+    )
+    _add_common(pr)
+
+    pc = sub.add_parser(
+        "compare",
+        help="paired cross-seed comparison of two schedulers (Wilcoxon)",
+    )
+    pc.add_argument("--scenario", required=True, choices=sorted(SCENARIOS))
+    pc.add_argument("--a", required=True, help="first scheduler")
+    pc.add_argument("--b", required=True, help="second scheduler")
+    pc.add_argument("-n", "--n-jobs", type=int, default=40)
+    pc.add_argument("--seeds", type=int, default=8)
+
+    sub.add_parser("list", help="list scenarios and schedulers")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("Scenarios:")
+        for name, spec in SCENARIOS.items():
+            print(f"  {name:20s} {spec.description}")
+        print("Schedulers:")
+        for name in available_schedulers():
+            print(f"  {name}")
+        return 0
+
+    if args.command == "fig2":
+        samples = figures.figure2(
+            model=args.model, n_jobs=args.n_jobs, seed=args.seed
+        )
+        for sample in samples:
+            print(sample.render())
+            print()
+        return 0
+
+    if args.command == "fig3":
+        data = figures.figure3(
+            n_jobs=args.n_jobs,
+            workload_seed=args.seed,
+            scheduler_seed=args.scheduler_seed,
+        )
+        print(report.render_figure3(data))
+        return 0
+
+    if args.command == "fig4":
+        data = figures.figure4(
+            sizes=args.sizes,
+            workload_seed=args.seed,
+            scheduler_seed=args.scheduler_seed,
+        )
+        print(report.render_figure4(data))
+        return 0
+
+    if args.command == "fig5":
+        data = figures.figure5(
+            n_jobs=args.n_jobs,
+            workload_seed=args.seed,
+            scheduler_seed=args.scheduler_seed,
+        )
+        print(
+            report.render_overhead_table(
+                data,
+                key_label="scenario",
+                title="Figure 5 — overhead per scenario (60 jobs)",
+            )
+        )
+        return 0
+
+    if args.command == "fig6":
+        data = figures.figure6(
+            sizes=args.sizes,
+            workload_seed=args.seed,
+            scheduler_seed=args.scheduler_seed,
+        )
+        print(
+            report.render_overhead_table(
+                data,
+                key_label="n_jobs",
+                title="Figure 6 — overhead scaling (heterogeneous mix)",
+            )
+        )
+        return 0
+
+    if args.command == "fig7":
+        data = figures.figure7(
+            n_jobs=args.n_jobs,
+            n_repeats=args.repeats,
+            workload_seed=args.seed,
+        )
+        print(report.render_figure7(data))
+        return 0
+
+    if args.command == "fig8":
+        data = figures.figure8(
+            n_jobs=args.n_jobs,
+            trace_seed=args.trace_seed,
+            scheduler_seed=args.scheduler_seed,
+        )
+        print(report.render_figure8(data))
+        return 0
+
+    if args.command == "run":
+        run = run_single(
+            args.scenario,
+            args.n_jobs,
+            args.scheduler,
+            workload_seed=args.seed,
+            scheduler_seed=args.scheduler_seed,
+            arrival_mode=args.arrival_mode,
+        )
+        base = run_single(
+            args.scenario,
+            args.n_jobs,
+            "fcfs",
+            workload_seed=args.seed,
+            arrival_mode=args.arrival_mode,
+        )
+        block = {
+            "fcfs": normalize_to_baseline(base.values, base.values),
+            args.scheduler: normalize_to_baseline(run.values, base.values),
+        }
+        print(
+            report.render_normalized_block(
+                block,
+                f"{args.scenario}, {args.n_jobs} jobs, {args.scheduler}",
+            )
+        )
+        if run.overhead is not None:
+            print(f"\nLLM overhead: {run.overhead.latency}")
+            print(f"total elapsed (accepted placements): "
+                  f"{run.overhead.elapsed_s:.1f}s over "
+                  f"{run.overhead.n_calls} calls")
+        return 0
+
+    if args.command == "compare":
+        from repro.analysis.significance import (
+            compare_schedulers,
+            render_comparison,
+        )
+
+        comps = compare_schedulers(
+            args.scenario,
+            args.n_jobs,
+            args.a,
+            args.b,
+            n_seeds=args.seeds,
+        )
+        print(
+            f"== {args.scenario}, {args.n_jobs} jobs, "
+            f"{args.seeds} workload seeds (paired)"
+        )
+        print(render_comparison(comps, args.a, args.b))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""ASCII rendering of figure data.
+
+The paper's figures are bar/box/scatter charts; we regenerate the
+underlying numbers and print them as aligned tables so benches and the
+CLI produce the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.analysis.stats import BoxStats
+from repro.experiments.runner import OverheadSummary
+from repro.metrics.objectives import METRIC_NAMES
+
+#: Short column labels for the eight metrics.
+METRIC_LABELS: dict[str, str] = {
+    "makespan": "makespan",
+    "avg_wait_time": "wait",
+    "avg_turnaround_time": "turnaround",
+    "throughput": "thruput",
+    "node_utilization": "node_util",
+    "memory_utilization": "mem_util",
+    "wait_fairness": "wait_fair",
+    "user_fairness": "user_fair",
+}
+
+
+def _fmt(value: float, width: int = 9) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "—".rjust(width)
+    if isinstance(value, float) and math.isinf(value):
+        return "inf".rjust(width)
+    return f"{value:.3f}".rjust(width)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Align *rows* under *headers* (all entries pre-formatted strings)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def render_normalized_block(
+    block: Mapping[str, Mapping[str, float]], title: str
+) -> str:
+    """Render one {scheduler: {metric: normalized}} block."""
+    headers = ["scheduler"] + [METRIC_LABELS[m] for m in METRIC_NAMES]
+    rows = []
+    for scheduler, metrics in block.items():
+        rows.append(
+            [scheduler]
+            + [_fmt(metrics.get(m, math.nan)).strip() for m in METRIC_NAMES]
+        )
+    return f"== {title} (normalized to FCFS = 1.0)\n" + format_table(
+        headers, rows
+    )
+
+
+def render_figure3(
+    data: Mapping[str, Mapping[str, Mapping[str, float]]]
+) -> str:
+    """Fig. 3: one block per scenario."""
+    parts = [
+        render_normalized_block(block, f"Figure 3 — {scenario}, 60 jobs")
+        for scenario, block in data.items()
+    ]
+    return "\n\n".join(parts)
+
+
+def render_figure4(
+    data: Mapping[int, Mapping[str, Mapping[str, float]]]
+) -> str:
+    """Fig. 4: one block per queue size."""
+    parts = [
+        render_normalized_block(
+            block, f"Figure 4 — heterogeneous_mix, {n} jobs"
+        )
+        for n, block in data.items()
+    ]
+    return "\n\n".join(parts)
+
+
+def render_overhead_table(
+    data: Mapping[object, Mapping[str, OverheadSummary]],
+    *,
+    key_label: str,
+    title: str,
+) -> str:
+    """Figs. 5/6: elapsed time, call count, latency distribution."""
+    headers = [
+        key_label,
+        "model",
+        "elapsed_s",
+        "calls",
+        "placed",
+        "rejected",
+        "lat_med_s",
+        "lat_p90_s",
+        "lat_max_s",
+        ">100s",
+    ]
+    rows = []
+    for key, per_model in data.items():
+        for model, ov in per_model.items():
+            rows.append(
+                [
+                    str(key),
+                    model,
+                    f"{ov.elapsed_s:.1f}",
+                    str(ov.n_calls),
+                    str(ov.n_accepted_placements),
+                    str(ov.n_rejected),
+                    f"{ov.latency.median_s:.2f}",
+                    f"{ov.latency.p90_s:.2f}",
+                    f"{ov.latency.max_s:.2f}",
+                    str(ov.latency.over_100s),
+                ]
+            )
+    return f"== {title}\n" + format_table(headers, rows)
+
+
+def render_figure7(data: Mapping[str, Mapping[str, BoxStats]]) -> str:
+    """Fig. 7: box-plot statistics per scheduler × metric."""
+    headers = [
+        "scheduler",
+        "metric",
+        "median",
+        "q1",
+        "q3",
+        "whisk_lo",
+        "whisk_hi",
+        "outliers",
+    ]
+    rows = []
+    for scheduler, metrics in data.items():
+        for metric, bs in metrics.items():
+            rows.append(
+                [
+                    scheduler,
+                    METRIC_LABELS[metric],
+                    _fmt(bs.median).strip(),
+                    _fmt(bs.q1).strip(),
+                    _fmt(bs.q3).strip(),
+                    _fmt(bs.whisker_lo).strip(),
+                    _fmt(bs.whisker_hi).strip(),
+                    str(len(bs.outliers)),
+                ]
+            )
+    return (
+        "== Figure 7 — Heterogeneous Mix, 100 jobs × 5 repetitions "
+        "(normalized to FCFS)\n" + format_table(headers, rows)
+    )
+
+
+def render_figure8(data: Mapping[str, Mapping[str, float]]) -> str:
+    """Fig. 8: Polaris trace block."""
+    return render_normalized_block(
+        data, "Figure 8 — Polaris trace, 100 jobs (560 nodes × 512 GB)"
+    )

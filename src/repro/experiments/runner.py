@@ -1,0 +1,180 @@
+"""Single-run and matrix experiment execution.
+
+An :class:`ExperimentRun` bundles everything one (workload, scheduler)
+simulation produced: the schedule, the metric report, and — for LLM
+agents — the overhead summary computed per the paper's §3.7.1
+accounting (only accepted ``start_job``/``backfill_job`` calls count
+toward elapsed scheduling time; delay calls reflect saturation, not
+reasoning cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import LatencySummary, summarize_latencies
+from repro.metrics.objectives import MetricReport, compute_metrics
+from repro.schedulers.registry import create_scheduler
+from repro.sim.cluster import ClusterModel, ResourcePool
+from repro.sim.job import Job
+from repro.sim.schedule import ScheduleResult
+from repro.sim.simulator import HPCSimulator
+from repro.workloads.generator import ArrivalMode, generate_workload
+
+#: The paper's §3.3 comparison set, in figure-legend order.
+DEFAULT_SCHEDULERS: tuple[str, ...] = (
+    "fcfs",
+    "sjf",
+    "ortools_like",
+    "claude-3.7-sim",
+    "o4-mini-sim",
+)
+
+#: The LLM entries of the comparison set.
+LLM_SCHEDULERS: tuple[str, ...] = ("claude-3.7-sim", "o4-mini-sim")
+
+
+@dataclass(frozen=True)
+class OverheadSummary:
+    """LLM computational overhead of one run (paper §3.7).
+
+    ``elapsed_s`` is the total virtual scheduling time — the sum of
+    per-call latencies over *accepted placement* calls. ``n_calls``
+    counts every LLM query (the paper's middle panels count calls ≈
+    job count plus backfill variation).
+    """
+
+    model: str
+    elapsed_s: float
+    n_calls: int
+    n_accepted_placements: int
+    n_rejected: int
+    latency: LatencySummary
+    all_call_latencies: tuple[float, ...]
+
+    @classmethod
+    def from_result(cls, result: ScheduleResult) -> Optional["OverheadSummary"]:
+        calls = result.extras.get("llm_calls")
+        if calls is None:
+            return None
+        accepted_placements = [
+            c for c in calls if c.accepted and c.is_placement
+        ]
+        lat = [c.latency_s for c in accepted_placements]
+        return cls(
+            model=result.extras.get("model", result.scheduler_name),
+            elapsed_s=float(sum(lat)),
+            n_calls=len(calls),
+            n_accepted_placements=len(accepted_placements),
+            n_rejected=sum(1 for c in calls if not c.accepted),
+            latency=summarize_latencies(lat),
+            all_call_latencies=tuple(c.latency_s for c in calls),
+        )
+
+
+@dataclass
+class ExperimentRun:
+    """One simulated (workload, scheduler) pair with its measurements."""
+
+    scenario: str
+    n_jobs: int
+    scheduler: str
+    workload_seed: int
+    scheduler_seed: int
+    result: ScheduleResult
+    metrics: MetricReport
+    overhead: Optional[OverheadSummary]
+
+    @property
+    def values(self) -> dict[str, float]:
+        return self.metrics.as_dict()
+
+
+def run_single(
+    scenario: str,
+    n_jobs: int,
+    scheduler: str,
+    *,
+    workload_seed: int = 0,
+    scheduler_seed: int = 0,
+    arrival_mode: ArrivalMode = "scenario",
+    jobs: Optional[Sequence[Job]] = None,
+    cluster: Optional[ClusterModel] = None,
+    verify: bool = True,
+) -> ExperimentRun:
+    """Simulate one scenario instance under one scheduler.
+
+    Parameters
+    ----------
+    jobs:
+        Pre-generated workload override (e.g. a Polaris trace); when
+        given, *scenario*/*n_jobs*/*workload_seed* are labels only.
+    cluster:
+        Cluster model override (defaults to the paper's 256/2048
+        partition).
+    verify:
+        Re-verify the capacity invariant on the finished schedule.
+    """
+    if jobs is None:
+        job_list = generate_workload(
+            scenario, n_jobs, seed=workload_seed, arrival_mode=arrival_mode
+        )
+    else:
+        job_list = list(jobs)
+    sched = create_scheduler(scheduler, seed=scheduler_seed)
+    sim = HPCSimulator(
+        jobs=job_list,
+        scheduler=sched,
+        cluster=cluster if cluster is not None else ResourcePool(),
+    )
+    result = sim.run()
+    if verify:
+        result.verify_capacity()
+    return ExperimentRun(
+        scenario=scenario,
+        n_jobs=len(job_list),
+        scheduler=scheduler,
+        workload_seed=workload_seed,
+        scheduler_seed=scheduler_seed,
+        result=result,
+        metrics=compute_metrics(result),
+        overhead=OverheadSummary.from_result(result),
+    )
+
+
+def run_matrix(
+    scenarios: Sequence[str],
+    sizes: Sequence[int],
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    *,
+    workload_seed: int = 0,
+    scheduler_seed: int = 0,
+    arrival_mode: ArrivalMode = "scenario",
+) -> list[ExperimentRun]:
+    """Cross product of scenarios × sizes × schedulers.
+
+    Workloads are generated once per (scenario, size) so every
+    scheduler sees the identical instance — the comparison the paper
+    makes.
+    """
+    runs: list[ExperimentRun] = []
+    for scenario in scenarios:
+        for n_jobs in sizes:
+            jobs = generate_workload(
+                scenario, n_jobs, seed=workload_seed, arrival_mode=arrival_mode
+            )
+            for scheduler in schedulers:
+                runs.append(
+                    run_single(
+                        scenario,
+                        n_jobs,
+                        scheduler,
+                        workload_seed=workload_seed,
+                        scheduler_seed=scheduler_seed,
+                        jobs=jobs,
+                    )
+                )
+    return runs

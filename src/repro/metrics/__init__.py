@@ -1,0 +1,58 @@
+"""Scheduling performance objectives (paper §3.2).
+
+Seven standard objectives capturing system-level efficiency and
+user-perceived responsiveness: makespan, average wait time, average
+turnaround time, throughput, node utilization, memory utilization, and
+Jain fairness from both per-job and per-user perspectives.
+
+All computations are numpy-vectorized over the
+:meth:`~repro.sim.schedule.ScheduleResult.to_arrays` view.
+"""
+
+from repro.metrics.energy import (
+    EnergyReport,
+    PowerModel,
+    compare_energy,
+    energy_report,
+)
+from repro.metrics.fairness import jain_index
+from repro.metrics.normalize import (
+    LOWER_BETTER,
+    HIGHER_BETTER,
+    normalize_to_baseline,
+)
+from repro.metrics.objectives import (
+    METRIC_NAMES,
+    MetricReport,
+    average_turnaround_time,
+    average_wait_time,
+    compute_metrics,
+    makespan,
+    memory_utilization,
+    node_utilization,
+    per_job_fairness,
+    per_user_fairness,
+    throughput,
+)
+
+__all__ = [
+    "EnergyReport",
+    "HIGHER_BETTER",
+    "LOWER_BETTER",
+    "METRIC_NAMES",
+    "MetricReport",
+    "PowerModel",
+    "compare_energy",
+    "energy_report",
+    "average_turnaround_time",
+    "average_wait_time",
+    "compute_metrics",
+    "jain_index",
+    "makespan",
+    "memory_utilization",
+    "node_utilization",
+    "normalize_to_baseline",
+    "per_job_fairness",
+    "per_user_fairness",
+    "throughput",
+]

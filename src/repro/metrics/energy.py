@@ -1,0 +1,122 @@
+"""Energy accounting — the paper's §6 "energy-aware scheduling" future
+work.
+
+A simple but standard node-power model: every node draws
+``idle_watts`` whenever the partition is up, plus an additional
+``active_watts − idle_watts`` while it executes a job. Under that
+model, for a fixed workload the *active* energy is schedule-invariant
+(node-seconds of work are fixed), so the scheduler's entire energy
+lever is the idle term — which is proportional to makespan. This is
+why makespan/utilization-focused policies are also the energy-efficient
+ones, and the :func:`energy_report` helper quantifies exactly how much
+idle energy a schedule burns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.sim.schedule import ScheduleResult
+
+#: Joules per kilowatt-hour.
+_J_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-node power draw in watts.
+
+    Defaults approximate a dual-socket CPU node: ~120 W idle,
+    ~450 W under full load.
+    """
+
+    idle_watts: float = 120.0
+    active_watts: float = 450.0
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0:
+            raise ValueError("idle_watts must be non-negative")
+        if self.active_watts < self.idle_watts:
+            raise ValueError("active_watts must be >= idle_watts")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one schedule."""
+
+    #: Energy consumed doing useful work (schedule-invariant).
+    active_kwh: float
+    #: Idle-draw energy over the schedule's span (the scheduler's lever).
+    idle_kwh: float
+    #: Span the partition was accounted for (= makespan).
+    span_s: float
+    #: Average power draw over the span, in kW.
+    average_kw: float
+    #: Energy-delay product in kWh·s (joint energy/latency figure).
+    energy_delay_product: float
+
+    @property
+    def total_kwh(self) -> float:
+        return self.active_kwh + self.idle_kwh
+
+    @property
+    def idle_fraction(self) -> float:
+        """Share of total energy burned idle — lower is better."""
+        total = self.total_kwh
+        return self.idle_kwh / total if total > 0 else 0.0
+
+
+def energy_report(
+    result: ScheduleResult, model: PowerModel | None = None
+) -> EnergyReport:
+    """Compute the energy breakdown of a finished schedule.
+
+    Active energy integrates ``(active − idle) × node-seconds`` over
+    every job; idle energy charges ``idle_watts`` for every node of the
+    partition across the whole makespan (HPC partitions do not power
+    down between jobs).
+    """
+    model = model or PowerModel()
+    arrays = result.to_arrays()
+    if arrays["end"].size == 0:
+        return EnergyReport(0.0, 0.0, 0.0, 0.0, 0.0)
+    span = float(arrays["end"].max() - arrays["submit"].min())
+    node_seconds = float((arrays["nodes"] * arrays["duration"]).sum())
+    active_j = node_seconds * (model.active_watts - model.idle_watts)
+    idle_j = result.total_nodes * span * model.idle_watts
+    total_j = active_j + idle_j
+    avg_kw = (total_j / span) / 1000.0 if span > 0 else 0.0
+    return EnergyReport(
+        active_kwh=active_j / _J_PER_KWH,
+        idle_kwh=idle_j / _J_PER_KWH,
+        span_s=span,
+        average_kw=avg_kw,
+        energy_delay_product=(total_j / _J_PER_KWH) * span,
+    )
+
+
+def compare_energy(
+    results: Mapping[str, ScheduleResult],
+    model: PowerModel | None = None,
+) -> dict[str, EnergyReport]:
+    """Energy reports for a set of schedules of the *same* workload.
+
+    Sanity-checks that active energy is identical across schedulers
+    (it must be — the work is fixed) so any total-energy difference is
+    attributable to idle time.
+    """
+    model = model or PowerModel()
+    reports = {
+        name: energy_report(result, model)
+        for name, result in results.items()
+    }
+    actives = [r.active_kwh for r in reports.values()]
+    if actives and not np.allclose(actives, actives[0], rtol=1e-9):
+        raise ValueError(
+            "schedules disagree on active energy — these results are "
+            "not from the same workload"
+        )
+    return reports

@@ -1,0 +1,43 @@
+"""Scheduling policies.
+
+Baselines from the paper's §3.3 comparison — FCFS, SJF and an
+optimization-based scheduler standing in for Google OR-Tools — plus an
+EASY-backfilling FCFS variant and simple heuristics used in ablations.
+The LLM ReAct agent (the paper's contribution) lives in
+:mod:`repro.core` and adapts to the same
+:class:`~repro.sim.simulator.SchedulerProtocol`.
+"""
+
+from repro.schedulers.base import BaseScheduler
+from repro.schedulers.fcfs import EasyBackfillScheduler, FCFSScheduler
+from repro.schedulers.heuristics import (
+    FirstFitScheduler,
+    LargestFirstScheduler,
+    RandomScheduler,
+)
+from repro.schedulers.optimizer import AnnealingOptimizer, PlanStatistics
+from repro.schedulers.packing import PackedJob, ResourceProfile, pack_order
+from repro.schedulers.registry import (
+    SCHEDULER_FACTORIES,
+    available_schedulers,
+    create_scheduler,
+)
+from repro.schedulers.sjf import SJFScheduler
+
+__all__ = [
+    "AnnealingOptimizer",
+    "BaseScheduler",
+    "EasyBackfillScheduler",
+    "FCFSScheduler",
+    "FirstFitScheduler",
+    "LargestFirstScheduler",
+    "PackedJob",
+    "PlanStatistics",
+    "RandomScheduler",
+    "ResourceProfile",
+    "SCHEDULER_FACTORIES",
+    "SJFScheduler",
+    "available_schedulers",
+    "create_scheduler",
+    "pack_order",
+]

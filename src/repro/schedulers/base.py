@@ -1,0 +1,65 @@
+"""Base class for scheduling policies.
+
+Concrete schedulers implement :meth:`decide`; the default hook
+implementations (rejection handling, per-decision metadata) satisfy
+:class:`~repro.sim.simulator.SchedulerProtocol` so subclasses only
+override what they need.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.actions import Action
+from repro.sim.constraints import Violation
+from repro.sim.simulator import SystemView
+
+
+class BaseScheduler:
+    """Shared plumbing for all scheduling policies.
+
+    Attributes
+    ----------
+    name:
+        Policy identifier used in results and figures.
+    emits_stop:
+        When True, the simulator grants one final decision query after
+        every job has been scheduled so the policy can narrate a
+        closing ``Stop`` (the LLM agent does; heuristics don't).
+    """
+
+    name: str = "base"
+    emits_stop: bool = False
+
+    def __init__(self) -> None:
+        self._last_meta: dict[str, Any] = {}
+
+    # -- SchedulerProtocol -------------------------------------------------
+    def reset(self) -> None:
+        """Clear per-run state. Subclasses with state must extend."""
+        self._last_meta = {}
+
+    def decide(self, view: SystemView) -> Action:
+        raise NotImplementedError
+
+    def on_rejection(
+        self,
+        action: Action,
+        violations: tuple[Violation, ...],
+        view: SystemView,
+    ) -> None:
+        """Default: ignore (well-behaved heuristics never get here)."""
+
+    def decision_meta(self) -> dict[str, Any]:
+        """Metadata attached to the most recent decision record."""
+        return self._last_meta
+
+    def collect_extras(self) -> dict[str, Any]:
+        """Artifacts to attach to the final ScheduleResult."""
+        return {}
+
+    def _set_meta(self, **kwargs: Any) -> None:
+        self._last_meta = kwargs
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,104 @@
+"""First-Come-First-Served scheduling.
+
+:class:`FCFSScheduler` is the paper's baseline (§3.3): execute jobs
+strictly in arrival order, starting the head job whenever resources
+permit and otherwise waiting — which is exactly what makes it
+vulnerable to convoy effects (§3.1's Long-Job-Dominant and Adversarial
+scenarios exist to expose that).
+
+:class:`EasyBackfillScheduler` adds EASY backfilling (Srinivasan et
+al., cited by the paper as the classic FCFS+backfilling approach): when
+the head job cannot start, a *reservation* is computed for it — the
+earliest time enough resources will be free, assuming running jobs end
+at their walltime — and smaller jobs may jump the queue only if they
+cannot push that reservation back.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import BaseScheduler
+from repro.sim.actions import Action, BackfillJob, Delay, StartJob
+from repro.sim.job import Job
+from repro.sim.simulator import RunningJob, SystemView
+
+
+class FCFSScheduler(BaseScheduler):
+    """Strict arrival-order scheduling without backfilling."""
+
+    name = "fcfs"
+
+    def decide(self, view: SystemView) -> Action:
+        if not view.queued:
+            return Delay
+        head = view.queued[0]
+        if view.can_fit(head):
+            return StartJob(head.job_id)
+        return Delay
+
+
+def head_reservation(
+    head: Job, running: tuple[RunningJob, ...], view: SystemView
+) -> tuple[float, int, float]:
+    """Compute the EASY reservation for the blocked head job.
+
+    Walks running jobs in walltime-completion order, accumulating
+    released resources until *head* fits. Returns ``(shadow_time,
+    extra_nodes, extra_memory)`` where the extras are the resources
+    that remain free at the shadow time beyond what *head* needs —
+    backfilled work small enough to fit in the extras can run past the
+    shadow time without delaying the head job.
+    """
+    free_nodes = view.free_nodes
+    free_mem = view.free_memory_gb
+    shadow = view.now
+    releases = sorted(
+        running, key=lambda r: r.start_time + r.job.walltime
+    )
+    for run in releases:
+        if free_nodes >= head.nodes and free_mem >= head.memory_gb - 1e-9:
+            break
+        shadow = run.start_time + run.job.walltime
+        free_nodes += run.job.nodes
+        free_mem += run.job.memory_gb
+    # All releases may be needed; shadow is then the last release time.
+    extra_nodes = free_nodes - head.nodes
+    extra_mem = free_mem - head.memory_gb
+    return shadow, extra_nodes, extra_mem
+
+
+class EasyBackfillScheduler(BaseScheduler):
+    """FCFS with EASY (aggressive) backfilling.
+
+    A queued job *j* may backfill iff it fits right now and either
+
+    * it finishes (by walltime) before the head job's reservation, or
+    * it only consumes resources the head job will not need at its
+      reservation time.
+    """
+
+    name = "fcfs_backfill"
+
+    def decide(self, view: SystemView) -> Action:
+        if not view.queued:
+            return Delay
+        head = view.queued[0]
+        if view.can_fit(head):
+            return StartJob(head.job_id)
+        shadow, extra_nodes, extra_mem = head_reservation(
+            head, view.running, view
+        )
+        for job in view.queued[1:]:
+            if not view.can_fit(job):
+                continue
+            ends_before_shadow = view.now + job.walltime <= shadow + 1e-9
+            fits_in_extras = (
+                job.nodes <= extra_nodes
+                and job.memory_gb <= extra_mem + 1e-9
+            )
+            if ends_before_shadow or fits_in_extras:
+                self._set_meta(
+                    shadow_time=shadow,
+                    reserved_job=head.job_id,
+                )
+                return BackfillJob(job.job_id)
+        return Delay

@@ -1,0 +1,208 @@
+"""Genetic-algorithm list scheduler.
+
+The paper's related work (§1.1) cites Genetic Algorithms, Simulated
+Annealing and PSO as the classical metaheuristics applied to HPC
+scheduling, "primarily to optimize a single objective through iterative
+search over job permutations". :mod:`repro.schedulers.optimizer`
+implements the SA member of that family (doubling as the OR-Tools
+stand-in); this module implements the GA member over the *identical*
+packing model, so the two metaheuristics are directly comparable in
+ablations (same objective, same schedule decoder, different search).
+
+Representation: a chromosome is a job-priority permutation, decoded by
+the serial schedule-generation scheme of
+:mod:`repro.schedulers.packing`. Selection is k-tournament; crossover
+is order crossover (OX1, the standard permutation operator); mutation
+swaps two positions. Elitism preserves the best chromosome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.schedulers.base import BaseScheduler
+from repro.schedulers.packing import (
+    PackedJob,
+    pack_order,
+    plan_makespan,
+    plan_total_completion,
+)
+from repro.sim.actions import Action, Delay, StartJob
+from repro.sim.job import Job
+from repro.sim.simulator import SystemView
+
+
+@dataclass
+class GeneticConfig:
+    """GA hyperparameters. Defaults are sized for ≤100-job queues."""
+
+    population: int = 20
+    generations: int = 15
+    tournament_k: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.2
+    elite: int = 2
+    flow_time_weight: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be at least 2")
+        if self.elite >= self.population:
+            raise ValueError("elite must be smaller than the population")
+        for name in ("crossover_rate", "mutation_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+def order_crossover(
+    parent_a: list[int], parent_b: list[int], rng: np.random.Generator
+) -> list[int]:
+    """OX1: copy a random slice from parent A, fill the rest in parent
+    B's relative order."""
+    n = len(parent_a)
+    if n < 2:
+        return list(parent_a)
+    i, j = sorted(rng.choice(n, size=2, replace=False))
+    child: list[Optional[int]] = [None] * n
+    child[i : j + 1] = parent_a[i : j + 1]
+    taken = set(parent_a[i : j + 1])
+    fill = [gene for gene in parent_b if gene not in taken]
+    it = iter(fill)
+    for idx in range(n):
+        if child[idx] is None:
+            child[idx] = next(it)
+    return child  # type: ignore[return-value]
+
+
+class GeneticOptimizer(BaseScheduler):
+    """GA-driven list scheduler over the shared packing model.
+
+    Online like :class:`~repro.schedulers.optimizer.AnnealingOptimizer`:
+    plans over currently queued jobs, replans on arrivals, and executes
+    placements in planned start-time order.
+    """
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        seed: int | np.random.SeedSequence = 0,
+        config: Optional[GeneticConfig] = None,
+    ) -> None:
+        super().__init__()
+        self._seed = seed
+        self.config = config or GeneticConfig()
+        self.reset()
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = np.random.default_rng(self._seed)
+        self._planned_ids: set[int] = set()
+        self._plan: list[PackedJob] = []
+        self.generations_run = 0
+
+    # -- GA machinery --------------------------------------------------------
+    def _fitness(self, placements: list[PackedJob], now: float) -> float:
+        n = len(placements)
+        if n == 0:
+            return 0.0
+        return plan_makespan(placements, now) + (
+            self.config.flow_time_weight
+            * plan_total_completion(placements)
+            / n
+        )
+
+    def _pack(self, order: list[Job], view: SystemView) -> list[PackedJob]:
+        releases = [
+            (run.expected_end, run.job.nodes, run.job.memory_gb)
+            for run in view.running
+        ]
+        return pack_order(
+            order,
+            now=view.now,
+            free_nodes=view.free_nodes,
+            free_memory_gb=view.free_memory_gb,
+            releases=releases,
+        )
+
+    def _evolve(self, view: SystemView) -> list[Job]:
+        jobs = list(view.queued)
+        by_id = {j.job_id: j for j in jobs}
+        ids = [j.job_id for j in jobs]
+        cfg = self.config
+        rng = self._rng
+
+        def evaluate(chromosome: list[int]) -> float:
+            order = [by_id[jid] for jid in chromosome]
+            return self._fitness(self._pack(order, view), view.now)
+
+        # Seed the population with strong heuristic orders + shuffles.
+        lpt = sorted(ids, key=lambda jid: -by_id[jid].node_seconds)
+        spt = sorted(ids, key=lambda jid: by_id[jid].walltime)
+        population = [lpt, spt]
+        while len(population) < cfg.population:
+            perm = list(ids)
+            rng.shuffle(perm)
+            population.append(perm)
+        scores = [evaluate(c) for c in population]
+
+        for _ in range(cfg.generations):
+            self.generations_run += 1
+            ranked = sorted(range(len(population)), key=lambda i: scores[i])
+            next_pop = [list(population[i]) for i in ranked[: cfg.elite]]
+            while len(next_pop) < cfg.population:
+
+                def tournament() -> list[int]:
+                    contenders = rng.choice(
+                        len(population),
+                        size=min(cfg.tournament_k, len(population)),
+                        replace=False,
+                    )
+                    best = min(contenders, key=lambda i: scores[i])
+                    return population[best]
+
+                if rng.random() < cfg.crossover_rate and len(ids) >= 2:
+                    child = order_crossover(tournament(), tournament(), rng)
+                else:
+                    child = list(tournament())
+                if rng.random() < cfg.mutation_rate and len(ids) >= 2:
+                    i, j = rng.choice(len(ids), size=2, replace=False)
+                    child[i], child[j] = child[j], child[i]
+                next_pop.append(child)
+            population = next_pop
+            scores = [evaluate(c) for c in population]
+
+        best = population[int(np.argmin(scores))]
+        return [by_id[jid] for jid in best]
+
+    # -- SchedulerProtocol -------------------------------------------------
+    def decide(self, view: SystemView) -> Action:
+        queued_ids = {j.job_id for j in view.queued}
+        if queued_ids - self._planned_ids:
+            if view.queued:
+                order = self._evolve(view)
+                final = self._pack(order, view)
+                self._plan = sorted(
+                    final, key=lambda p: (p.start, p.job.job_id)
+                )
+            else:
+                self._plan = []
+            self._planned_ids = set(queued_ids)
+
+        while self._plan and self._plan[0].job.job_id not in queued_ids:
+            self._plan.pop(0)
+        if not self._plan:
+            return Delay
+        head = self._plan[0]
+        job = view.queued_job(head.job.job_id)
+        if job is not None and view.can_fit(job):
+            self._plan.pop(0)
+            return StartJob(job.job_id)
+        return Delay
+
+    def collect_extras(self) -> dict[str, Any]:
+        return {"generations": self.generations_run}

@@ -1,0 +1,105 @@
+"""Additional simple policies used for ablations and testing.
+
+None of these appear in the paper's comparison; they exist to bracket
+the baselines (how much of the LLM agent's advantage is explained by
+plain greedy packing?) and to exercise the simulator under policies
+with different structural behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.schedulers.base import BaseScheduler
+from repro.sim.actions import Action, Delay, StartJob
+from repro.sim.simulator import SystemView
+
+
+class FirstFitScheduler(BaseScheduler):
+    """Start the first queued job (arrival order) that fits right now.
+
+    FCFS with queue-order skipping — a minimal backfilling-like policy
+    with no reservation guarantee (long jobs can starve).
+    """
+
+    name = "first_fit"
+
+    def decide(self, view: SystemView) -> Action:
+        for job in view.queued:
+            if view.can_fit(job):
+                return StartJob(job.job_id)
+        return Delay
+
+
+class LargestFirstScheduler(BaseScheduler):
+    """Start the feasible job with the largest node-seconds footprint.
+
+    A greedy packing heuristic (LPT flavour) that tends to optimize
+    makespan/utilization while ignoring wait-time fairness — a cheap
+    sanity bracket for the optimizer.
+    """
+
+    name = "largest_first"
+
+    def decide(self, view: SystemView) -> Action:
+        feasible = view.feasible_jobs()
+        if not feasible:
+            return Delay
+        best = max(feasible, key=lambda j: (j.node_seconds, j.job_id))
+        return StartJob(best.job_id)
+
+
+class RandomScheduler(BaseScheduler):
+    """Start a uniformly random feasible job.
+
+    Useful as a stochastic chaff policy in property tests: any
+    invariant the simulator guarantees must hold under arbitrary
+    feasible choices.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int | np.random.SeedSequence = 0):
+        super().__init__()
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = np.random.default_rng(self._seed)
+
+    def decide(self, view: SystemView) -> Action:
+        feasible = view.feasible_jobs()
+        if not feasible:
+            return Delay
+        pick = feasible[int(self._rng.integers(0, len(feasible)))]
+        return StartJob(pick.job_id)
+
+
+class DelayingScheduler(BaseScheduler):
+    """Always delays for *n* decisions before behaving like first-fit.
+
+    Exists purely for simulator tests (retry/deadlock handling).
+    """
+
+    name = "delaying"
+
+    def __init__(self, delays: int = 0):
+        super().__init__()
+        self.delays = delays
+        self._count = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._count = 0
+
+    def decide(self, view: SystemView) -> Action:
+        if self._count < self.delays:
+            self._count += 1
+            return Delay
+        for job in view.queued:
+            if view.can_fit(job):
+                return StartJob(job.job_id)
+        return Delay

@@ -1,0 +1,218 @@
+"""Optimization-based scheduler — the Google OR-Tools stand-in.
+
+The paper uses OR-Tools as a strong optimization baseline that
+"computes globally optimal or near-optimal schedules for
+small-to-medium workloads" (§3.3), observing that it maximizes
+utilization (up to 1.8× FCFS at 100 jobs) while degrading wait-time and
+user-level fairness — it optimizes system efficiency with no fairness
+term.
+
+We reproduce that role without the closed dependency:
+:class:`AnnealingOptimizer` searches job *priority permutations* with
+simulated annealing; each permutation is evaluated by the serial
+schedule-generation scheme of :mod:`repro.schedulers.packing`
+(earliest-feasible-start packing under node+memory constraints), and
+the objective is makespan with a small mean-flow-time tiebreak —
+deliberately fairness-blind, like the paper's OR-Tools configuration.
+For the workload sizes the paper studies (≤100 jobs) annealed list
+scheduling sits within a few percent of optimal makespan, preserving
+the baseline's qualitative position: top utilization, fairness
+trade-off.
+
+The optimizer is *online*: it plans over currently queued jobs and
+replans whenever new jobs arrive, executing placements in planned
+start-time order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.schedulers.base import BaseScheduler
+from repro.schedulers.packing import (
+    PackedJob,
+    pack_order,
+    plan_makespan,
+    plan_total_completion,
+)
+from repro.sim.actions import Action, Delay, StartJob
+from repro.sim.job import Job
+from repro.sim.simulator import SystemView
+
+
+@dataclass
+class PlanStatistics:
+    """Bookkeeping about one replanning event."""
+
+    time: float
+    queue_size: int
+    iterations: int
+    initial_objective: float
+    final_objective: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative objective improvement found by annealing."""
+        if self.initial_objective == 0:
+            return 0.0
+        return 1.0 - self.final_objective / self.initial_objective
+
+
+@dataclass
+class AnnealingConfig:
+    """Annealer hyperparameters.
+
+    ``iterations`` scales with queue size (``base + per_job * n``,
+    capped) so small queues replan cheaply; ``t0_fraction`` sets the
+    initial temperature as a fraction of the initial objective.
+    """
+
+    base_iterations: int = 60
+    per_job_iterations: int = 4
+    max_iterations: int = 600
+    t0_fraction: float = 0.05
+    cooling: float = 0.995
+    flow_time_weight: float = 1e-3
+
+    def iterations_for(self, n: int) -> int:
+        return min(
+            self.base_iterations + self.per_job_iterations * n,
+            self.max_iterations,
+        )
+
+
+class AnnealingOptimizer(BaseScheduler):
+    """Simulated-annealing list scheduler (OR-Tools substitute).
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for the annealer (plan search is stochastic; execution
+        of a fixed plan is deterministic).
+    config:
+        :class:`AnnealingConfig` hyperparameters.
+    """
+
+    name = "ortools_like"
+
+    def __init__(
+        self,
+        seed: int | np.random.SeedSequence = 0,
+        config: Optional[AnnealingConfig] = None,
+    ) -> None:
+        super().__init__()
+        self._seed = seed
+        self.config = config or AnnealingConfig()
+        self._rng = np.random.default_rng(seed)
+        self._planned_ids: set[int] = set()
+        self._plan: list[PackedJob] = []
+        self._stats: list[PlanStatistics] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = np.random.default_rng(self._seed)
+        self._planned_ids = set()
+        self._plan = []
+        self._stats = []
+
+    # -- planning ---------------------------------------------------------
+    def _objective(self, placements: list[PackedJob], now: float) -> float:
+        n = len(placements)
+        if n == 0:
+            return 0.0
+        return plan_makespan(placements, now) + (
+            self.config.flow_time_weight * plan_total_completion(placements) / n
+        )
+
+    def _pack(self, order: list[Job], view: SystemView) -> list[PackedJob]:
+        releases = [
+            (run.expected_end, run.job.nodes, run.job.memory_gb)
+            for run in view.running
+        ]
+        return pack_order(
+            order,
+            now=view.now,
+            free_nodes=view.free_nodes,
+            free_memory_gb=view.free_memory_gb,
+            releases=releases,
+        )
+
+    def _replan(self, view: SystemView) -> None:
+        jobs = list(view.queued)
+        n = len(jobs)
+        if n == 0:
+            self._plan = []
+            self._planned_ids = set()
+            return
+
+        # Initial order: largest node-seconds first (LPT flavour), a
+        # strong makespan heuristic the annealer then polishes.
+        order = sorted(jobs, key=lambda j: (-j.node_seconds, j.job_id))
+        placements = self._pack(order, view)
+        best_order = order
+        best_obj = cur_obj = self._objective(placements, view.now)
+        initial_obj = best_obj
+
+        iterations = self.config.iterations_for(n)
+        temp = max(best_obj * self.config.t0_fraction, 1e-9)
+        cur_order = list(order)
+        if n >= 2:
+            for _ in range(iterations):
+                i, j = self._rng.integers(0, n, size=2)
+                if i == j:
+                    continue
+                cand = list(cur_order)
+                cand[i], cand[j] = cand[j], cand[i]
+                cand_obj = self._objective(self._pack(cand, view), view.now)
+                delta = cand_obj - cur_obj
+                if delta <= 0 or self._rng.random() < math.exp(
+                    -delta / temp
+                ):
+                    cur_order, cur_obj = cand, cand_obj
+                    if cur_obj < best_obj:
+                        best_order, best_obj = cand, cur_obj
+                temp *= self.config.cooling
+
+        final = self._pack(best_order, view)
+        # Execute in planned start-time order.
+        self._plan = sorted(final, key=lambda p: (p.start, p.job.job_id))
+        self._planned_ids = {p.job.job_id for p in self._plan}
+        self._stats.append(
+            PlanStatistics(
+                time=view.now,
+                queue_size=n,
+                iterations=iterations,
+                initial_objective=initial_obj,
+                final_objective=best_obj,
+            )
+        )
+
+    # -- SchedulerProtocol -------------------------------------------------
+    def decide(self, view: SystemView) -> Action:
+        queued_ids = {j.job_id for j in view.queued}
+        if queued_ids - self._planned_ids:
+            self._replan(view)
+
+        # Drop placements for jobs no longer queued (already started).
+        while self._plan and self._plan[0].job.job_id not in queued_ids:
+            self._plan.pop(0)
+
+        if not self._plan:
+            return Delay
+        head = self._plan[0]
+        job = view.queued_job(head.job.job_id)
+        if job is not None and view.can_fit(job):
+            self._plan.pop(0)
+            self._set_meta(planned_start=head.start)
+            return StartJob(job.job_id)
+        return Delay
+
+    def collect_extras(self) -> dict[str, Any]:
+        return {
+            "replans": len(self._stats),
+            "plan_stats": list(self._stats),
+        }

@@ -1,0 +1,208 @@
+"""Resource-profile packing: the optimizer's schedule model.
+
+A :class:`ResourceProfile` is a stepwise-constant timeline of free
+(node, memory) capacity with breakpoints at reservation starts/ends and
+at the expected release times of already-running jobs. The serial
+schedule-generation scheme (:func:`pack_order`) places a permutation of
+jobs at their earliest feasible start times against the profile — the
+classic list-scheduling construction the annealing optimizer searches
+over, and the same model EASY backfilling uses for reservations.
+
+The feasibility scan is numpy-vectorized (prefix sums of infeasible
+intervals + ``searchsorted``), keeping a full 100-job packing in the
+hundreds of microseconds so the annealer can afford hundreds of
+evaluations per replanning event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.job import Job
+
+
+class PackingError(RuntimeError):
+    """Raised when a reservation would drive free capacity negative."""
+
+
+class ResourceProfile:
+    """Stepwise free-capacity timeline supporting earliest-fit queries.
+
+    Parameters
+    ----------
+    origin:
+        Left edge of the timeline (current simulation time); queries
+        never return starts before it.
+    free_nodes / free_memory_gb:
+        Free capacity at the origin.
+    releases:
+        ``(time, nodes, memory_gb)`` triples for resources that will be
+        freed in the future (expected completions of running jobs).
+        Times before the origin are clamped to it.
+    """
+
+    def __init__(
+        self,
+        origin: float,
+        free_nodes: float,
+        free_memory_gb: float,
+        releases: Iterable[tuple[float, float, float]] = (),
+    ) -> None:
+        deltas: dict[float, list[float]] = {}
+        for time, nodes, mem in releases:
+            t = max(float(time), origin)
+            slot = deltas.setdefault(t, [0.0, 0.0])
+            slot[0] += nodes
+            slot[1] += mem
+        times = [origin] + sorted(t for t in deltas if t > origin)
+        k = len(times)
+        fn = np.empty(k)
+        fm = np.empty(k)
+        cur_n, cur_m = float(free_nodes), float(free_memory_gb)
+        if origin in deltas:
+            cur_n += deltas[origin][0]
+            cur_m += deltas[origin][1]
+        fn[0], fm[0] = cur_n, cur_m
+        for i, t in enumerate(times[1:], start=1):
+            cur_n += deltas[t][0]
+            cur_m += deltas[t][1]
+            fn[i], fm[i] = cur_n, cur_m
+        self.times = np.array(times)
+        self.free_nodes = fn
+        self.free_memory = fm
+
+    # -- queries ----------------------------------------------------------
+    def earliest_start(
+        self,
+        nodes: float,
+        memory_gb: float,
+        duration: float,
+        not_before: float,
+    ) -> float:
+        """Earliest ``t >= not_before`` such that ``nodes``/``memory_gb``
+        are free throughout ``[t, t + duration)``.
+
+        Raises
+        ------
+        PackingError
+            If no interval ever has enough capacity (request exceeds the
+            profile's eventual maximum).
+        """
+        times = self.times
+        k = times.size
+        feas = (self.free_nodes >= nodes - 1e-9) & (
+            self.free_memory >= memory_gb - 1e-9
+        )
+        # cb[i] = number of infeasible intervals among the first i.
+        cb = np.concatenate(([0], np.cumsum(~feas)))
+        starts = np.maximum(times, not_before)
+        ends_idx = np.searchsorted(times, starts + duration, side="left")
+        ok = feas & (cb[ends_idx] - cb[np.arange(k)] == 0)
+        # Ignore intervals that end before not_before (their clamped
+        # start falls in a later interval that is checked on its own).
+        if k > 1:
+            interval_end = np.concatenate((times[1:], [np.inf]))
+            ok &= interval_end > not_before
+        idx = np.flatnonzero(ok)
+        if idx.size == 0:
+            raise PackingError(
+                f"request for {nodes} nodes / {memory_gb:g} GB × "
+                f"{duration:g}s never fits this profile"
+            )
+        return float(starts[idx[0]])
+
+    def capacity_at(self, time: float) -> tuple[float, float]:
+        """Free (nodes, memory) at *time* (clamped to the origin)."""
+        i = int(np.searchsorted(self.times, time, side="right")) - 1
+        i = max(i, 0)
+        return float(self.free_nodes[i]), float(self.free_memory[i])
+
+    # -- mutation -----------------------------------------------------------
+    def _ensure_breakpoint(self, t: float) -> None:
+        i = int(np.searchsorted(self.times, t, side="left"))
+        if i < self.times.size and self.times[i] == t:
+            return
+        prev = max(i - 1, 0)
+        self.times = np.insert(self.times, i, t)
+        self.free_nodes = np.insert(self.free_nodes, i, self.free_nodes[prev])
+        self.free_memory = np.insert(
+            self.free_memory, i, self.free_memory[prev]
+        )
+
+    def reserve(
+        self, start: float, duration: float, nodes: float, memory_gb: float
+    ) -> None:
+        """Subtract capacity over ``[start, start + duration)``.
+
+        Raises :class:`PackingError` if the reservation oversubscribes
+        any interval (callers should have used :meth:`earliest_start`).
+        """
+        end = start + duration
+        self._ensure_breakpoint(start)
+        self._ensure_breakpoint(end)
+        i = int(np.searchsorted(self.times, start, side="left"))
+        j = int(np.searchsorted(self.times, end, side="left"))
+        if np.any(self.free_nodes[i:j] < nodes - 1e-9) or np.any(
+            self.free_memory[i:j] < memory_gb - 1e-9
+        ):
+            raise PackingError(
+                f"reservation [{start:g}, {end:g}) for {nodes} nodes / "
+                f"{memory_gb:g} GB oversubscribes the profile"
+            )
+        self.free_nodes[i:j] -= nodes
+        self.free_memory[i:j] -= memory_gb
+
+
+@dataclass(frozen=True)
+class PackedJob:
+    """One job placement produced by the packer."""
+
+    job: Job
+    start: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.job.duration
+
+
+def pack_order(
+    jobs: Sequence[Job],
+    *,
+    now: float,
+    free_nodes: float,
+    free_memory_gb: float,
+    releases: Iterable[tuple[float, float, float]] = (),
+) -> list[PackedJob]:
+    """Serial schedule-generation scheme over a job permutation.
+
+    Places each job of *jobs*, in the given order, at its earliest
+    feasible start (never before its submit time or *now*) against a
+    shared :class:`ResourceProfile`. Later jobs in the order may start
+    earlier in time if they fit into gaps — permutations are priority
+    lists, not start-time orders.
+    """
+    profile = ResourceProfile(now, free_nodes, free_memory_gb, releases)
+    placements: list[PackedJob] = []
+    for job in jobs:
+        start = profile.earliest_start(
+            job.nodes, job.memory_gb, job.duration,
+            not_before=max(now, job.submit_time),
+        )
+        profile.reserve(start, job.duration, job.nodes, job.memory_gb)
+        placements.append(PackedJob(job, start))
+    return placements
+
+
+def plan_makespan(placements: Sequence[PackedJob], now: float) -> float:
+    """Makespan of a packed plan measured from *now*."""
+    if not placements:
+        return 0.0
+    return max(p.end for p in placements) - now
+
+
+def plan_total_completion(placements: Sequence[PackedJob]) -> float:
+    """Sum of completion times (the flow-time tiebreak objective)."""
+    return float(sum(p.end for p in placements))

@@ -1,0 +1,309 @@
+"""Cluster resource models.
+
+The paper models a shared partition as two aggregate pools — 256 compute
+nodes and 2048 GB of memory (§3.1) — with a *first-fit* allocation
+strategy (§3.3): a selected job is placed on the first available set of
+resources meeting its requirements, and topology/storage are abstracted
+away. :class:`ResourcePool` is that model.
+
+:class:`NodeLevelCluster` is an optional finer-grained model that tracks
+per-node memory and performs first-fit over an explicit node list; it is
+used in tests and ablations to confirm that aggregate accounting does
+not change scheduling outcomes for the paper's workloads (jobs spread
+memory evenly across their nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.sim.job import Job
+
+
+@runtime_checkable
+class ClusterModel(Protocol):
+    """Protocol every cluster resource model implements."""
+
+    total_nodes: int
+    total_memory_gb: float
+
+    def can_fit(self, job: Job) -> bool:
+        """True if *job* could start right now."""
+        ...
+
+    def allocate(self, job: Job) -> None:
+        """Reserve resources for *job* (raises if infeasible)."""
+        ...
+
+    def release(self, job_id: int) -> None:
+        """Free the resources held by *job_id*."""
+        ...
+
+    @property
+    def free_nodes(self) -> int:
+        ...
+
+    @property
+    def free_memory_gb(self) -> float:
+        ...
+
+
+class AllocationError(RuntimeError):
+    """Raised when an allocation request cannot be satisfied.
+
+    The simulator never lets this happen for validated actions; seeing
+    it indicates a scheduler bypassed constraint checking.
+    """
+
+
+@dataclass
+class ResourcePool:
+    """Aggregate node + memory accounting with first-fit feasibility.
+
+    This is the paper's cluster model: a job fits iff its node request
+    is at most the free node count and its memory request at most the
+    free memory. Allocations are tracked per job id so releases are
+    exact and double-release is detected.
+
+    Parameters
+    ----------
+    total_nodes:
+        Partition node count (paper default 256).
+    total_memory_gb:
+        Partition memory capacity in GB (paper default 2048).
+    """
+
+    total_nodes: int = 256
+    total_memory_gb: float = 2048.0
+    _free_nodes: int = field(init=False)
+    _free_memory_gb: float = field(init=False)
+    _allocations: dict[int, tuple[int, float]] = field(
+        init=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.total_nodes <= 0:
+            raise ValueError("total_nodes must be positive")
+        if self.total_memory_gb <= 0:
+            raise ValueError("total_memory_gb must be positive")
+        self._free_nodes = self.total_nodes
+        self._free_memory_gb = float(self.total_memory_gb)
+
+    # -- feasibility ---------------------------------------------------
+    def can_fit(self, job: Job) -> bool:
+        return (
+            job.nodes <= self._free_nodes
+            and job.memory_gb <= self._free_memory_gb + 1e-9
+        )
+
+    def fits_empty(self, job: Job) -> bool:
+        """True if *job* could run on an otherwise idle cluster."""
+        return (
+            job.nodes <= self.total_nodes
+            and job.memory_gb <= self.total_memory_gb + 1e-9
+        )
+
+    # -- state transitions ---------------------------------------------
+    def allocate(self, job: Job) -> None:
+        if job.job_id in self._allocations:
+            raise AllocationError(f"job {job.job_id} is already allocated")
+        if not self.can_fit(job):
+            raise AllocationError(
+                f"job {job.job_id} needs {job.nodes} nodes / "
+                f"{job.memory_gb:g} GB; free: {self._free_nodes} nodes / "
+                f"{self._free_memory_gb:g} GB"
+            )
+        self._allocations[job.job_id] = (job.nodes, job.memory_gb)
+        self._free_nodes -= job.nodes
+        self._free_memory_gb -= job.memory_gb
+
+    def release(self, job_id: int) -> None:
+        try:
+            nodes, memory = self._allocations.pop(job_id)
+        except KeyError:
+            raise AllocationError(f"job {job_id} holds no allocation") from None
+        self._free_nodes += nodes
+        self._free_memory_gb += memory
+        # Guard against drift from repeated float adds.
+        if self._free_nodes > self.total_nodes:
+            raise AllocationError("node accounting corrupted (over-release)")
+        self._free_memory_gb = min(self._free_memory_gb, self.total_memory_gb)
+
+    def reset(self) -> None:
+        """Return to the fully idle state."""
+        self._allocations.clear()
+        self._free_nodes = self.total_nodes
+        self._free_memory_gb = float(self.total_memory_gb)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def free_nodes(self) -> int:
+        return self._free_nodes
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self._free_memory_gb
+
+    @property
+    def used_nodes(self) -> int:
+        return self.total_nodes - self._free_nodes
+
+    @property
+    def used_memory_gb(self) -> float:
+        return self.total_memory_gb - self._free_memory_gb
+
+    @property
+    def running_job_ids(self) -> list[int]:
+        return sorted(self._allocations)
+
+    def node_utilization(self) -> float:
+        """Instantaneous node occupancy in [0, 1]."""
+        return self.used_nodes / self.total_nodes
+
+    def memory_utilization(self) -> float:
+        """Instantaneous memory occupancy in [0, 1]."""
+        return self.used_memory_gb / self.total_memory_gb
+
+    def snapshot(self) -> dict[str, float]:
+        """Structured state snapshot (used by prompt rendering)."""
+        return {
+            "total_nodes": self.total_nodes,
+            "total_memory_gb": self.total_memory_gb,
+            "free_nodes": self._free_nodes,
+            "free_memory_gb": self._free_memory_gb,
+            "used_nodes": self.used_nodes,
+            "used_memory_gb": self.used_memory_gb,
+        }
+
+
+@dataclass
+class NodeLevelCluster:
+    """Per-node first-fit cluster model.
+
+    Each node has its own memory capacity; a job asking for ``n`` nodes
+    and ``m`` GB is placed on the first ``n`` nodes (in index order,
+    classic first-fit) that each have at least ``m / n`` GB free. Jobs
+    are assumed to spread memory evenly across their nodes, which is how
+    both the paper's generator and the Polaris preprocessing derive
+    memory demands.
+
+    Exposes the same interface as :class:`ResourcePool` so the simulator
+    can run with either model.
+    """
+
+    node_count: int = 256
+    memory_per_node_gb: float = 8.0
+    _node_free_mem: np.ndarray = field(init=False, repr=False)
+    _node_owner: np.ndarray = field(init=False, repr=False)
+    _placements: dict[int, tuple[np.ndarray, float]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0:
+            raise ValueError("node_count must be positive")
+        if self.memory_per_node_gb <= 0:
+            raise ValueError("memory_per_node_gb must be positive")
+        self._node_free_mem = np.full(
+            self.node_count, float(self.memory_per_node_gb)
+        )
+        self._node_owner = np.full(self.node_count, -1, dtype=np.int64)
+
+    # Aggregate capacity view (ClusterModel protocol).
+    @property
+    def total_nodes(self) -> int:
+        return self.node_count
+
+    @property
+    def total_memory_gb(self) -> float:
+        return self.node_count * self.memory_per_node_gb
+
+    @property
+    def free_nodes(self) -> int:
+        return int((self._node_owner < 0).sum())
+
+    @property
+    def free_memory_gb(self) -> float:
+        return float(self._node_free_mem[self._node_owner < 0].sum())
+
+    def _candidate_nodes(self, job: Job) -> np.ndarray | None:
+        per_node_mem = job.memory_gb / job.nodes
+        free = self._node_owner < 0
+        enough = self._node_free_mem >= per_node_mem - 1e-9
+        eligible = np.flatnonzero(free & enough)
+        if eligible.size < job.nodes:
+            return None
+        return eligible[: job.nodes]
+
+    def can_fit(self, job: Job) -> bool:
+        return self._candidate_nodes(job) is not None
+
+    def fits_empty(self, job: Job) -> bool:
+        return (
+            job.nodes <= self.node_count
+            and job.memory_gb / job.nodes <= self.memory_per_node_gb + 1e-9
+        )
+
+    def allocate(self, job: Job) -> None:
+        if job.job_id in self._placements:
+            raise AllocationError(f"job {job.job_id} is already allocated")
+        nodes = self._candidate_nodes(job)
+        if nodes is None:
+            raise AllocationError(
+                f"job {job.job_id} does not fit on any {job.nodes} free nodes"
+            )
+        per_node_mem = job.memory_gb / job.nodes
+        self._node_owner[nodes] = job.job_id
+        self._node_free_mem[nodes] -= per_node_mem
+        self._placements[job.job_id] = (nodes.copy(), per_node_mem)
+
+    def release(self, job_id: int) -> None:
+        try:
+            nodes, per_node_mem = self._placements.pop(job_id)
+        except KeyError:
+            raise AllocationError(f"job {job_id} holds no allocation") from None
+        self._node_owner[nodes] = -1
+        self._node_free_mem[nodes] += per_node_mem
+        np.minimum(
+            self._node_free_mem, self.memory_per_node_gb, out=self._node_free_mem
+        )
+
+    def reset(self) -> None:
+        self._placements.clear()
+        self._node_free_mem[:] = self.memory_per_node_gb
+        self._node_owner[:] = -1
+
+    @property
+    def used_nodes(self) -> int:
+        return self.node_count - self.free_nodes
+
+    @property
+    def used_memory_gb(self) -> float:
+        return self.total_memory_gb - self.free_memory_gb
+
+    @property
+    def running_job_ids(self) -> list[int]:
+        return sorted(self._placements)
+
+    def node_utilization(self) -> float:
+        return self.used_nodes / self.node_count
+
+    def memory_utilization(self) -> float:
+        return self.used_memory_gb / self.total_memory_gb
+
+    def placement_of(self, job_id: int) -> np.ndarray:
+        """Node indices assigned to a running job (testing/inspection)."""
+        return self._placements[job_id][0].copy()
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "total_nodes": self.total_nodes,
+            "total_memory_gb": self.total_memory_gb,
+            "free_nodes": self.free_nodes,
+            "free_memory_gb": self.free_memory_gb,
+            "used_nodes": self.used_nodes,
+            "used_memory_gb": self.used_memory_gb,
+        }

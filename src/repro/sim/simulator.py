@@ -1,0 +1,446 @@
+"""The discrete event simulation engine.
+
+Implements the environment of paper §3.1: time advances only at job
+arrivals and completions; at each step newly arrived jobs join the
+waiting queue, finished jobs release resources, and — if any job is
+eligible — the scheduler is queried for a decision. Valid actions are
+executed; invalid ones are rejected with structured violations and the
+scheduler is re-queried (the LLM agent turns those violations into
+scratchpad feedback, §2.4) up to a retry limit, after which the
+simulator forces a ``Delay``.
+
+The engine is policy-agnostic: FCFS, SJF, the annealing optimizer and
+the ReAct LLM agent all implement :class:`SchedulerProtocol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Protocol, runtime_checkable
+
+from repro.sim.actions import Action, ActionKind, Delay
+from repro.sim.cluster import ClusterModel, ResourcePool
+from repro.sim.constraints import ConstraintChecker, Violation
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.job import Job, validate_dependencies, validate_workload
+from repro.sim.schedule import DecisionRecord, JobRecord, ScheduleResult
+
+
+class SimulationError(RuntimeError):
+    """Raised on unrecoverable simulation states (deadlock, runaway)."""
+
+
+@dataclass(frozen=True)
+class RunningJob:
+    """A job currently holding resources.
+
+    ``runtime`` is the *effective* runtime: the job's true duration,
+    or its requested walltime when the simulator enforces walltime
+    limits and the job would overrun (it gets killed at the limit).
+    """
+
+    job: Job
+    start_time: float
+    runtime: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0:
+            object.__setattr__(self, "runtime", float(self.job.duration))
+
+    @property
+    def expected_end(self) -> float:
+        return self.start_time + self.runtime
+
+
+@dataclass(frozen=True)
+class SystemView:
+    """Read-only snapshot handed to schedulers at a decision point.
+
+    This is the machine-readable equivalent of the prompt state block
+    in paper §3.4 (current time, available resources, running jobs,
+    waiting jobs) plus look-ahead hooks (next event times) that
+    event-driven baselines use.
+    """
+
+    now: float
+    queued: tuple[Job, ...]
+    running: tuple[RunningJob, ...]
+    completed_ids: tuple[int, ...]
+    free_nodes: int
+    free_memory_gb: float
+    total_nodes: int
+    total_memory_gb: float
+    pending_arrivals: int
+    next_arrival_time: Optional[float]
+    next_completion_time: Optional[float]
+    #: Jobs submitted but held back by unmet dependencies (the §6
+    #: dependency extension); they are not eligible to schedule yet.
+    blocked_jobs: int = 0
+
+    @property
+    def all_jobs_scheduled(self) -> bool:
+        """True when nothing is queued, nothing will arrive, and no job
+        is waiting on dependencies."""
+        return (
+            not self.queued
+            and self.pending_arrivals == 0
+            and self.blocked_jobs == 0
+        )
+
+    def queued_job(self, job_id: int) -> Optional[Job]:
+        for job in self.queued:
+            if job.job_id == job_id:
+                return job
+        return None
+
+    def can_fit(self, job: Job) -> bool:
+        """First-fit feasibility against the aggregate free resources."""
+        return (
+            job.nodes <= self.free_nodes
+            and job.memory_gb <= self.free_memory_gb + 1e-9
+        )
+
+    def feasible_jobs(self) -> tuple[Job, ...]:
+        """Queued jobs that could start right now."""
+        return tuple(j for j in self.queued if self.can_fit(j))
+
+    def user_wait_times(self) -> dict[str, float]:
+        """Current accumulated wait per user over queued jobs (used by
+        fairness-aware policies)."""
+        waits: dict[str, float] = {}
+        for job in self.queued:
+            waits[job.user] = waits.get(job.user, 0.0) + (
+                self.now - job.submit_time
+            )
+        return waits
+
+
+@runtime_checkable
+class SchedulerProtocol(Protocol):
+    """What the engine requires of a scheduling policy."""
+
+    name: str
+
+    def reset(self) -> None:
+        """Clear state before a fresh run."""
+        ...
+
+    def decide(self, view: SystemView) -> Action:
+        """Propose the next action for the current decision point."""
+        ...
+
+    def on_rejection(
+        self, action: Action, violations: tuple[Violation, ...], view: SystemView
+    ) -> None:
+        """Notification that *action* was rejected (feedback channel)."""
+        ...
+
+    def decision_meta(self) -> dict[str, Any]:
+        """Metadata about the most recent decision (thought text,
+        simulated latency, …); attached to the decision record."""
+        ...
+
+
+@dataclass
+class HPCSimulator:
+    """Event-driven simulation of one workload under one scheduler.
+
+    Parameters
+    ----------
+    jobs:
+        The workload. Submit times define arrival events.
+    scheduler:
+        Any :class:`SchedulerProtocol` implementation.
+    cluster:
+        Cluster model; defaults to the paper's 256-node / 2048 GB
+        aggregate partition.
+    max_retries:
+        How many consecutive rejected proposals are tolerated at one
+        decision point before the simulator forces a ``Delay``.
+    max_decisions:
+        Hard cap on scheduler queries, guarding against runaway loops.
+        Defaults to ``200 * n_jobs + 1000``.
+    enforce_walltime:
+        Real resource managers kill jobs that exceed their requested
+        walltime. When True, a job whose true duration exceeds its
+        walltime runs for exactly the walltime and its record is
+        marked ``killed`` (the paper's synthetic workloads use perfect
+        estimates, so this is off by default).
+    """
+
+    jobs: list[Job]
+    scheduler: SchedulerProtocol
+    cluster: ClusterModel = field(default_factory=ResourcePool)
+    max_retries: int = 3
+    max_decisions: Optional[int] = None
+    enforce_walltime: bool = False
+
+    def __post_init__(self) -> None:
+        self.jobs = validate_workload(self.jobs)
+        validate_dependencies(self.jobs)
+        for job in self.jobs:
+            if job.nodes > self.cluster.total_nodes or (
+                job.memory_gb > self.cluster.total_memory_gb + 1e-9
+            ):
+                raise SimulationError(
+                    f"job {job.job_id} exceeds total cluster capacity "
+                    f"({job.nodes} nodes / {job.memory_gb:g} GB vs "
+                    f"{self.cluster.total_nodes} / "
+                    f"{self.cluster.total_memory_gb:g}); screen the workload "
+                    "with repro.sim.job.screen_unschedulable first"
+                )
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> ScheduleResult:
+        """Execute the full simulation and return the schedule."""
+        checker = ConstraintChecker()
+        events = EventQueue()
+        jobs_by_id = {j.job_id: j for j in self.jobs}
+        for job in self.jobs:
+            events.push(Event(job.submit_time, EventKind.ARRIVAL, job.job_id))
+
+        queued: dict[int, Job] = {}
+        queue_order: list[int] = []
+        running: dict[int, RunningJob] = {}
+        records: list[JobRecord] = []
+        decisions: list[DecisionRecord] = []
+        pending_arrivals = len(self.jobs)
+        completed_ids: list[int] = []
+        completed_set: set[int] = set()
+        #: Submitted jobs held back by unmet dependencies (§6 extension).
+        blocked: dict[int, Job] = {}
+        dependents: dict[int, list[int]] = {}
+        for job in self.jobs:
+            for dep in job.depends_on:
+                dependents.setdefault(dep, []).append(job.job_id)
+        stopped = False
+        decision_budget = (
+            self.max_decisions
+            if self.max_decisions is not None
+            else 200 * len(self.jobs) + 1000
+        )
+
+        if hasattr(self.cluster, "reset"):
+            self.cluster.reset()
+        self.scheduler.reset()
+
+        now = 0.0
+        if self.jobs:
+            now = min(now, self.jobs[0].submit_time)
+
+        def deps_met(job: Job) -> bool:
+            return all(dep in completed_set for dep in job.depends_on)
+
+        def process_events_at(time: float) -> None:
+            nonlocal pending_arrivals
+            for event in events.pop_until(time):
+                if event.kind is EventKind.COMPLETION:
+                    run = running.pop(event.job_id)
+                    self.cluster.release(event.job_id)
+                    records.append(
+                        JobRecord(
+                            run.job,
+                            run.start_time,
+                            event.time,
+                            killed=run.runtime < run.job.duration,
+                        )
+                    )
+                    completed_ids.append(event.job_id)
+                    completed_set.add(event.job_id)
+                    # Release any dependents this completion unblocks.
+                    for dep_id in dependents.get(event.job_id, ()):
+                        job = blocked.get(dep_id)
+                        if job is not None and deps_met(job):
+                            del blocked[dep_id]
+                            queued[job.job_id] = job
+                            queue_order.append(job.job_id)
+                else:  # ARRIVAL
+                    job = jobs_by_id[event.job_id]
+                    pending_arrivals -= 1
+                    if deps_met(job):
+                        queued[job.job_id] = job
+                        queue_order.append(job.job_id)
+                    else:
+                        blocked[job.job_id] = job
+
+        def build_view() -> SystemView:
+            next_arrival: Optional[float] = None
+            next_completion: Optional[float] = None
+            # Scan the heap head only: peek gives earliest of either kind;
+            # derive the per-kind next times from state instead.
+            if pending_arrivals:
+                next_arrival = min(
+                    jobs_by_id[jid].submit_time
+                    for jid in jobs_by_id
+                    if jid not in queued
+                    and jid not in running
+                    and jid not in blocked
+                    and jid not in completed_set
+                )
+            if running:
+                next_completion = min(r.expected_end for r in running.values())
+            ordered_queue = tuple(queued[jid] for jid in queue_order if jid in queued)
+            return SystemView(
+                now=now,
+                queued=ordered_queue,
+                running=tuple(running.values()),
+                completed_ids=tuple(completed_ids),
+                free_nodes=self.cluster.free_nodes,
+                free_memory_gb=self.cluster.free_memory_gb,
+                total_nodes=self.cluster.total_nodes,
+                total_memory_gb=self.cluster.total_memory_gb,
+                pending_arrivals=pending_arrivals,
+                next_arrival_time=next_arrival,
+                next_completion_time=next_completion,
+                blocked_jobs=len(blocked),
+            )
+
+        final_stop_asked = False
+
+        while True:
+            process_events_at(now)
+
+            # Decision phase: keep querying while jobs are queued and the
+            # scheduler keeps placing them (all within the same timestep).
+            retries = 0
+            while queued and not stopped:
+                if len(decisions) >= decision_budget:
+                    raise SimulationError(
+                        f"decision budget exhausted ({decision_budget}); "
+                        f"scheduler {self.scheduler.name!r} appears stuck"
+                    )
+                view = build_view()
+                action = self.scheduler.decide(view)
+                result = checker.validate(
+                    action,
+                    queued=queued,
+                    cluster=self.cluster,
+                    all_scheduled=view.all_jobs_scheduled,
+                )
+                meta = dict(self.scheduler.decision_meta())
+                decisions.append(
+                    DecisionRecord(
+                        time=now,
+                        action=action,
+                        accepted=result.ok,
+                        violations=result.violations,
+                        retry_index=retries,
+                        meta=meta,
+                    )
+                )
+                if not result.ok:
+                    self.scheduler.on_rejection(action, result.violations, view)
+                    retries += 1
+                    if retries > self.max_retries:
+                        break  # force a delay
+                    continue
+
+                retries = 0
+                if action.kind is ActionKind.DELAY:
+                    break
+                if action.kind is ActionKind.STOP:
+                    stopped = True
+                    break
+                # StartJob / BackfillJob
+                job = queued.pop(action.job_id)  # type: ignore[arg-type]
+                self.cluster.allocate(job)
+                runtime = (
+                    min(job.duration, job.walltime)
+                    if self.enforce_walltime
+                    else job.duration
+                )
+                running[job.job_id] = RunningJob(job, now, runtime=runtime)
+                events.push(
+                    Event(now + runtime, EventKind.COMPLETION, job.job_id)
+                )
+
+            # Agents that narrate a closing Stop (the paper's ReAct agent
+            # emits Stop once every job has been scheduled, possibly while
+            # jobs are still running — Fig. 2) get one final query.
+            if (
+                not queued
+                and not blocked
+                and pending_arrivals == 0
+                and not stopped
+                and not final_stop_asked
+                and getattr(self.scheduler, "emits_stop", False)
+            ):
+                final_stop_asked = True
+                view = build_view()
+                action = self.scheduler.decide(view)
+                result = checker.validate(
+                    action,
+                    queued=queued,
+                    cluster=self.cluster,
+                    all_scheduled=True,
+                )
+                decisions.append(
+                    DecisionRecord(
+                        time=now,
+                        action=action,
+                        accepted=result.ok,
+                        violations=result.violations,
+                        meta=dict(self.scheduler.decision_meta()),
+                    )
+                )
+                if result.ok and action.kind is ActionKind.STOP:
+                    stopped = True
+
+            # Termination / time advance.
+            if (
+                not queued
+                and not running
+                and not blocked
+                and pending_arrivals == 0
+            ):
+                break
+            if blocked and not queued and not running and pending_arrivals == 0:
+                # Cannot happen with acyclic dependencies: a blocked
+                # job's dependency chain always bottoms out in a
+                # runnable job. Defensive guard.
+                raise SimulationError(
+                    f"{len(blocked)} jobs blocked on dependencies with "
+                    "nothing running — dependency graph is inconsistent"
+                )
+            if stopped and not running and pending_arrivals == 0 and queued:
+                # Stop accepted only when all_scheduled; defensive.
+                raise SimulationError("stopped with jobs still queued")
+            next_time = events.peek_time()
+            if next_time is None:
+                if queued and not stopped:
+                    raise SimulationError(
+                        f"deadlock at t={now}: {len(queued)} jobs queued, "
+                        "no running jobs, no pending arrivals, and the "
+                        f"scheduler {self.scheduler.name!r} keeps delaying"
+                    )
+                break
+            now = max(now, next_time)
+
+        result = ScheduleResult(
+            records=records,
+            decisions=decisions,
+            total_nodes=self.cluster.total_nodes,
+            total_memory_gb=self.cluster.total_memory_gb,
+            scheduler_name=self.scheduler.name,
+        )
+        collect = getattr(self.scheduler, "collect_extras", None)
+        if collect is not None:
+            result.extras.update(collect())
+        return result
+
+
+def simulate(
+    jobs: Iterable[Job],
+    scheduler: SchedulerProtocol,
+    *,
+    cluster: Optional[ClusterModel] = None,
+    max_retries: int = 3,
+) -> ScheduleResult:
+    """One-call convenience wrapper around :class:`HPCSimulator`."""
+    sim = HPCSimulator(
+        jobs=list(jobs),
+        scheduler=scheduler,
+        cluster=cluster if cluster is not None else ResourcePool(),
+        max_retries=max_retries,
+    )
+    return sim.run()

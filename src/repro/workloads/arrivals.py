@@ -1,0 +1,93 @@
+"""Job arrival processes.
+
+The paper simulates dynamic submissions with Poisson processes whose
+rate λ is scenario-specific (§3.1); the Bursty+Idle scenario
+additionally alternates activity bursts with idle gaps; and the static
+experiments of §3.3 submit every job at ``t = 0``.
+
+Every process maps ``(rng, n)`` to a sorted array of ``n`` non-negative
+submit times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class ArrivalProcess(Protocol):
+    """Protocol for arrival time generators."""
+
+    def times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Return ``n`` sorted, non-negative arrival times (seconds)."""
+        ...
+
+
+@dataclass(frozen=True)
+class AllAtZero:
+    """Every job is submitted at system initialization (paper §3.3)."""
+
+    def times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.zeros(n)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson process with rate λ (jobs per second).
+
+    Interarrival gaps are exponential with mean ``1 / rate``; the first
+    job arrives at ``t = 0`` so every workload has an eligible job at
+    simulation start (matching the paper's traces, Fig. 2).
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+
+    def times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0)
+        gaps = rng.exponential(1.0 / self.rate, size=n)
+        gaps[0] = 0.0
+        return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Bursts of closely spaced submissions separated by idle gaps.
+
+    Within a burst of ``burst_size`` jobs, gaps are exponential with
+    rate ``burst_rate``; between bursts an idle period of mean
+    ``idle_gap`` seconds (exponential) elapses. Models the Bursty+Idle
+    scenario's uneven submission pattern.
+    """
+
+    burst_size: int = 8
+    burst_rate: float = 0.5
+    idle_gap: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        if self.burst_rate <= 0:
+            raise ValueError("burst_rate must be positive")
+        if self.idle_gap < 0:
+            raise ValueError("idle_gap must be non-negative")
+
+    def times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0)
+        gaps = np.empty(n)
+        for i in range(n):
+            if i == 0:
+                gaps[i] = 0.0
+            elif i % self.burst_size == 0:
+                gaps[i] = rng.exponential(self.idle_gap)
+            else:
+                gaps[i] = rng.exponential(1.0 / self.burst_rate)
+        return np.cumsum(gaps)

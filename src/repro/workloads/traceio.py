@@ -1,0 +1,112 @@
+"""Workload trace I/O.
+
+Simple CSV serialization of :class:`~repro.sim.job.Job` lists, so
+generated workloads and preprocessed traces can be saved, shared and
+replayed (the paper publishes its workload data for reproducibility;
+this is our equivalent). The column set mirrors the fields the paper's
+preprocessing retains.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO
+
+from repro.sim.job import Job, validate_workload
+
+#: Canonical column order.
+COLUMNS: tuple[str, ...] = (
+    "job_id",
+    "submit_time",
+    "duration",
+    "walltime",
+    "nodes",
+    "memory_gb",
+    "user",
+    "group",
+    "name",
+)
+
+
+def jobs_to_csv(jobs: Sequence[Job], path: str | Path | TextIO) -> None:
+    """Write *jobs* to *path* (file path or open text handle)."""
+
+    def _write(handle: TextIO) -> None:
+        writer = csv.writer(handle)
+        writer.writerow(COLUMNS)
+        for job in jobs:
+            writer.writerow(
+                [
+                    job.job_id,
+                    repr(job.submit_time),
+                    repr(job.duration),
+                    repr(job.walltime),
+                    job.nodes,
+                    repr(job.memory_gb),
+                    job.user,
+                    job.group,
+                    job.name,
+                ]
+            )
+
+    if isinstance(path, (str, Path)):
+        with open(path, "w", newline="") as handle:
+            _write(handle)
+    else:
+        _write(path)
+
+
+def jobs_from_csv(path: str | Path | TextIO) -> list[Job]:
+    """Read a job list previously written by :func:`jobs_to_csv`.
+
+    Raises
+    ------
+    ValueError
+        On missing columns or malformed rows (with row context).
+    """
+
+    def _read(handle: TextIO) -> list[Job]:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError("empty trace file")
+        missing = set(COLUMNS) - set(reader.fieldnames)
+        if missing:
+            raise ValueError(f"trace file missing columns: {sorted(missing)}")
+        jobs: list[Job] = []
+        for rownum, row in enumerate(reader, start=2):
+            try:
+                jobs.append(
+                    Job(
+                        job_id=int(row["job_id"]),
+                        submit_time=float(row["submit_time"]),
+                        duration=float(row["duration"]),
+                        walltime=float(row["walltime"]),
+                        nodes=int(row["nodes"]),
+                        memory_gb=float(row["memory_gb"]),
+                        user=row["user"],
+                        group=row["group"],
+                        name=row["name"],
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise ValueError(f"malformed trace row {rownum}: {exc}") from exc
+        return validate_workload(jobs)
+
+    if isinstance(path, (str, Path)):
+        with open(path, newline="") as handle:
+            return _read(handle)
+    return _read(path)
+
+
+def jobs_to_csv_string(jobs: Sequence[Job]) -> str:
+    """Serialize to an in-memory CSV string (testing convenience)."""
+    buf = io.StringIO()
+    jobs_to_csv(jobs, buf)
+    return buf.getvalue()
+
+
+def jobs_from_csv_string(text: str) -> list[Job]:
+    """Parse a CSV string produced by :func:`jobs_to_csv_string`."""
+    return jobs_from_csv(io.StringIO(text))

@@ -1,0 +1,61 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import ResourcePool
+from repro.sim.job import Job
+from repro.sim.simulator import HPCSimulator
+
+
+def make_job(
+    job_id: int = 1,
+    *,
+    submit: float = 0.0,
+    duration: float = 100.0,
+    nodes: int = 2,
+    memory: float = 8.0,
+    user: str = "user_0",
+    walltime: float | None = None,
+) -> Job:
+    """Compact job factory for hand-crafted scheduling scenarios."""
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        duration=duration,
+        nodes=nodes,
+        memory_gb=memory,
+        user=user,
+        walltime=duration if walltime is None else walltime,
+    )
+
+
+def run_sim(jobs, scheduler, *, nodes: int = 256, memory: float = 2048.0):
+    """Run a simulation on a fresh default cluster and verify capacity."""
+    sim = HPCSimulator(
+        jobs=list(jobs),
+        scheduler=scheduler,
+        cluster=ResourcePool(total_nodes=nodes, total_memory_gb=memory),
+    )
+    result = sim.run()
+    result.verify_capacity()
+    return result
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cluster() -> ResourcePool:
+    """A 8-node / 64 GB partition where contention is easy to craft."""
+    return ResourcePool(total_nodes=8, total_memory_gb=64.0)
+
+
+@pytest.fixture
+def paper_cluster() -> ResourcePool:
+    """The paper's 256-node / 2048 GB partition."""
+    return ResourcePool(total_nodes=256, total_memory_gb=2048.0)

@@ -1,0 +1,77 @@
+"""Tests for the ASCII Gantt renderer and utilization sparkline."""
+
+from repro.analysis.gantt import render_gantt, utilization_sparkline
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.schedule import JobRecord, ScheduleResult
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_job, run_sim
+
+
+def simple_result():
+    records = [
+        JobRecord(make_job(1, duration=50.0, nodes=4), 0.0, 50.0),
+        JobRecord(make_job(2, submit=10.0, duration=40.0, nodes=4), 50.0, 90.0),
+    ]
+    return ScheduleResult(records, [], 8, 64.0)
+
+
+class TestGantt:
+    def test_one_row_per_job(self):
+        text = render_gantt(simple_result())
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 jobs
+        assert "job 1" in lines[1]
+        assert "job 2" in lines[2]
+
+    def test_queued_time_shown_as_dots(self):
+        text = render_gantt(simple_result())
+        job2_line = text.splitlines()[2]
+        assert "." in job2_line  # waited 10..50
+        assert "█" in job2_line
+
+    def test_empty_schedule(self):
+        assert render_gantt(ScheduleResult([], [], 8, 64.0)) == "(empty schedule)"
+
+    def test_truncation(self):
+        records = [
+            JobRecord(make_job(i, duration=10.0, nodes=1), 0.0, 10.0)
+            for i in range(1, 21)
+        ]
+        text = render_gantt(
+            ScheduleResult(records, [], 64, 512.0), max_jobs=5
+        )
+        assert "15 more jobs not shown" in text
+
+    def test_real_schedule_renders(self):
+        jobs = generate_workload("bursty_idle", 20, seed=1)
+        result = run_sim(jobs, FCFSScheduler())
+        text = render_gantt(result, width=60)
+        assert text.count("\n") >= 20
+
+    def test_width_respected(self):
+        text = render_gantt(simple_result(), width=40)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+
+class TestSparkline:
+    def test_full_load_is_full_blocks(self):
+        records = [JobRecord(make_job(1, duration=100.0, nodes=8), 0.0, 100.0)]
+        line = utilization_sparkline(
+            ScheduleResult(records, [], 8, 64.0), width=10
+        )
+        assert line == "util |██████████|"
+
+    def test_half_load(self):
+        records = [JobRecord(make_job(1, duration=100.0, nodes=4), 0.0, 100.0)]
+        line = utilization_sparkline(
+            ScheduleResult(records, [], 8, 64.0), width=10
+        )
+        assert "▄" in line
+
+    def test_empty(self):
+        assert utilization_sparkline(
+            ScheduleResult([], [], 8, 64.0)
+        ) == "(empty schedule)"

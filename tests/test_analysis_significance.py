@@ -1,0 +1,54 @@
+"""Tests for the cross-seed scheduler comparison utility."""
+
+import math
+
+import pytest
+
+from repro.analysis.significance import (
+    PairedComparison,
+    compare_schedulers,
+    render_comparison,
+)
+
+
+class TestCompareSchedulers:
+    def test_identical_schedulers_tie(self):
+        comps = compare_schedulers(
+            "resource_sparse", 8, "fcfs", "fcfs", n_seeds=3,
+            metrics=("makespan", "throughput"),
+        )
+        for comp in comps.values():
+            assert comp.mean_diff == 0.0
+            assert math.isnan(comp.p_value)
+            assert comp.direction == "tie"
+
+    def test_llm_beats_fcfs_on_wait_under_contention(self):
+        comps = compare_schedulers(
+            "heterogeneous_mix", 25, "claude-3.7-sim", "fcfs",
+            n_seeds=4, metrics=("avg_wait_time",),
+        )
+        comp = comps["avg_wait_time"]
+        assert comp.mean_a < comp.mean_b
+        assert comp.direction == "a"
+        assert comp.n_seeds == 4
+
+    def test_direction_orientation(self):
+        lower = PairedComparison("makespan", 1.0, 2.0, -1.0, 0.01, 5)
+        assert lower.direction == "a"
+        higher = PairedComparison("throughput", 1.0, 2.0, -1.0, 0.01, 5)
+        assert higher.direction == "b"
+
+    def test_n_seeds_validation(self):
+        with pytest.raises(ValueError):
+            compare_schedulers("adversarial", 5, "fcfs", "sjf", n_seeds=1)
+
+
+class TestRender:
+    def test_table_contains_labels_and_metrics(self):
+        comps = compare_schedulers(
+            "resource_sparse", 6, "fcfs", "sjf", n_seeds=2,
+            metrics=("makespan",),
+        )
+        text = render_comparison(comps, "fcfs", "sjf")
+        assert "fcfs" in text
+        assert "makespan" in text

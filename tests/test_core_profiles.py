@@ -1,0 +1,135 @@
+"""Unit tests for model profiles and latency models."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import (
+    CLAUDE_37_SIM,
+    MODEL_PROFILES,
+    O4_MINI_SIM,
+    LatencyModel,
+    ModelProfile,
+    PolicyWeights,
+    get_profile,
+)
+
+
+class TestPolicyWeights:
+    def test_defaults_valid(self):
+        PolicyWeights()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="fairness"):
+            PolicyWeights(fairness=-0.1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PolicyWeights().fairness = 1.0  # type: ignore[misc]
+
+
+class TestLatencyModel:
+    def test_positive_samples(self, rng):
+        model = LatencyModel(base_s=5.0)
+        for _ in range(100):
+            assert model.sample(rng) > 0.0
+
+    def test_deterministic_under_seed(self):
+        model = O4_MINI_SIM.latency
+        a = [
+            model.sample(np.random.default_rng(1), queue_len=10, heterogeneity=0.5)
+            for _ in range(5)
+        ]
+        b = [
+            model.sample(np.random.default_rng(1), queue_len=10, heterogeneity=0.5)
+            for _ in range(5)
+        ]
+        assert a == b
+
+    def test_heterogeneity_raises_latency(self):
+        model = LatencyModel(base_s=10.0, sigma=0.1, het_sensitivity=2.0)
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        low = np.mean([model.sample(rng_a, heterogeneity=0.0) for _ in range(200)])
+        high = np.mean([model.sample(rng_b, heterogeneity=1.0) for _ in range(200)])
+        assert high > 2.0 * low
+
+    def test_queue_length_raises_latency(self):
+        model = LatencyModel(base_s=10.0, sigma=0.1, queue_sensitivity=1.0)
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        short = np.mean([model.sample(rng_a, queue_len=0) for _ in range(200)])
+        long = np.mean([model.sample(rng_b, queue_len=40) for _ in range(200)])
+        assert long > 2.0 * short
+
+    def test_outliers_appear(self):
+        model = LatencyModel(
+            base_s=10.0, sigma=0.1, outlier_prob=0.5, outlier_scale=20.0
+        )
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert max(samples) > 100.0
+
+
+class TestProfiles:
+    def test_registry_contains_all_models(self):
+        assert set(MODEL_PROFILES) == {
+            "claude-3.7-sim",
+            "o4-mini-sim",
+            "onprem-fast-sim",
+        }
+
+    def test_onprem_profile_is_fast_claude(self):
+        from repro.core.profiles import ONPREM_FAST_SIM
+
+        assert ONPREM_FAST_SIM.weights == CLAUDE_37_SIM.weights
+        rng = np.random.default_rng(0)
+        samples = [
+            ONPREM_FAST_SIM.latency.sample(rng, queue_len=20, heterogeneity=1.0)
+            for _ in range(200)
+        ]
+        assert np.percentile(samples, 90) < 0.5  # sub-second reasoning
+
+    def test_get_profile(self):
+        assert get_profile("claude-3.7-sim") is CLAUDE_37_SIM
+        with pytest.raises(KeyError, match="unknown model profile"):
+            get_profile("gpt-2")
+
+    def test_claude_latency_tight(self):
+        """Claude-sim per-call latencies cluster below ~10s (paper Fig. 5)."""
+        rng = np.random.default_rng(0)
+        samples = [
+            CLAUDE_37_SIM.latency.sample(rng, queue_len=10, heterogeneity=1.0)
+            for _ in range(500)
+        ]
+        assert np.percentile(samples, 90) < 12.0
+
+    def test_o4_latency_heavy_tailed(self):
+        """O4-Mini-sim shows >100s outliers on heterogeneous queues."""
+        rng = np.random.default_rng(0)
+        samples = [
+            O4_MINI_SIM.latency.sample(rng, queue_len=20, heterogeneity=1.0)
+            for _ in range(500)
+        ]
+        assert max(samples) > 100.0
+        assert np.mean(samples) > 5 * np.mean(
+            [
+                CLAUDE_37_SIM.latency.sample(
+                    np.random.default_rng(1), queue_len=20, heterogeneity=1.0
+                )
+                for _ in range(500)
+            ]
+        )
+
+    def test_with_weights_derives_new_profile(self):
+        derived = CLAUDE_37_SIM.with_weights(fairness=0.9)
+        assert derived.weights.fairness == 0.9
+        assert CLAUDE_37_SIM.weights.fairness != 0.9
+        assert derived.name == CLAUDE_37_SIM.name
+
+    def test_with_hallucination_rate(self):
+        derived = O4_MINI_SIM.with_hallucination_rate(0.0)
+        assert derived.hallucination_rate == 0.0
+        assert O4_MINI_SIM.hallucination_rate > 0.0
+
+    def test_paper_metadata(self):
+        assert CLAUDE_37_SIM.max_tokens == 5000
+        assert CLAUDE_37_SIM.temperature == 0.0
+        assert O4_MINI_SIM.max_tokens == 100_000

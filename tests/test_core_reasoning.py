@@ -1,0 +1,223 @@
+"""Unit tests for the simulated reasoning policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import CLAUDE_37_SIM, PolicyWeights
+from repro.core.prompt import PromptBuilder
+from repro.core.reasoning import ReasoningPolicy
+from repro.core.scratchpad import Scratchpad
+from repro.sim.actions import ActionKind
+from repro.sim.simulator import RunningJob, SystemView
+
+from tests.conftest import make_job
+
+
+def make_view(queued=(), running=(), *, now=0.0, free_nodes=8, free_mem=64.0,
+              pending=0, next_completion=None):
+    return SystemView(
+        now=now,
+        queued=tuple(queued),
+        running=tuple(running),
+        completed_ids=(),
+        free_nodes=free_nodes,
+        free_memory_gb=free_mem,
+        total_nodes=8,
+        total_memory_gb=64.0,
+        pending_arrivals=pending,
+        next_arrival_time=None,
+        next_completion_time=next_completion,
+    )
+
+
+def make_ctx(view, scratchpad=None):
+    return PromptBuilder().build(view, scratchpad or Scratchpad())
+
+
+def policy(profile=None, seed=0):
+    return ReasoningPolicy(profile or CLAUDE_37_SIM, np.random.default_rng(seed))
+
+
+class TestDecisions:
+    def test_stop_when_all_scheduled(self):
+        step = policy().decide(make_ctx(make_view()))
+        assert step.action.kind is ActionKind.STOP
+        assert "stop the scheduling process" in step.thought
+
+    def test_delay_when_nothing_fits(self):
+        view = make_view(
+            queued=[make_job(1, nodes=8)],
+            running=[RunningJob(make_job(2, nodes=8, duration=100.0), 0.0)],
+            free_nodes=0,
+            next_completion=100.0,
+        )
+        step = policy().decide(make_ctx(view))
+        assert step.action.kind is ActionKind.DELAY
+        assert "t=100" in step.thought
+
+    def test_starts_head_job(self):
+        view = make_view(queued=[make_job(1, nodes=4)])
+        step = policy().decide(make_ctx(view))
+        assert step.action.kind is ActionKind.START
+        assert step.action.job_id == 1
+
+    def test_backfill_verb_for_out_of_order_pick(self):
+        # Head job blocked; a later small job is feasible → BackfillJob.
+        head = make_job(1, nodes=8, duration=100.0)
+        small = make_job(2, nodes=2, duration=10.0)
+        view = make_view(
+            queued=[head, small],
+            running=[RunningJob(make_job(3, nodes=4, duration=50.0), 0.0)],
+            free_nodes=4,
+            next_completion=50.0,
+        )
+        step = policy().decide(make_ctx(view))
+        assert step.action.kind is ActionKind.BACKFILL
+        assert step.action.job_id == 2
+
+    def test_thought_mentions_candidates(self):
+        jobs = [make_job(i, nodes=2, duration=10.0 * i) for i in range(1, 4)]
+        step = policy().decide(make_ctx(make_view(queued=jobs)))
+        assert "Job 1" in step.thought
+        assert "Balancing fairness" in step.thought
+
+
+class TestScoring:
+    def test_fairness_dominant_picks_longest_waiter(self):
+        profile = CLAUDE_37_SIM.with_weights(
+            fairness=1.0, makespan=0.0, utilization=0.0, throughput=0.0,
+            easy_win_bias=0.0, starvation_patience=1e9,
+        )
+        old = make_job(1, submit=0.0, nodes=2)
+        fresh = make_job(2, submit=990.0, nodes=2)
+        view = make_view(queued=[fresh, old], now=1000.0)
+        scores = policy(profile).score_jobs(make_ctx(view), [fresh, old])
+        assert scores[0].job.job_id == 1
+
+    def test_throughput_dominant_picks_shortest(self):
+        profile = CLAUDE_37_SIM.with_weights(
+            fairness=0.0, makespan=0.0, utilization=0.0, throughput=1.0,
+            easy_win_bias=0.0, starvation_patience=1e9,
+        )
+        short = make_job(1, duration=5.0, nodes=2)
+        long = make_job(2, duration=500.0, nodes=2)
+        scores = policy(profile).score_jobs(
+            make_ctx(make_view(queued=[long, short])), [long, short]
+        )
+        assert scores[0].job.job_id == 1
+
+    def test_utilization_dominant_picks_biggest(self):
+        profile = CLAUDE_37_SIM.with_weights(
+            fairness=0.0, makespan=0.0, utilization=1.0, throughput=0.0,
+            easy_win_bias=0.0, starvation_patience=1e9,
+        )
+        small = make_job(1, nodes=1, memory=1.0, duration=10.0)
+        big = make_job(2, nodes=8, memory=64.0, duration=10.0)
+        scores = policy(profile).score_jobs(
+            make_ctx(make_view(queued=[small, big])), [small, big]
+        )
+        assert scores[0].job.job_id == 2
+
+    def test_scores_sorted_descending(self):
+        jobs = [make_job(i, nodes=i, duration=i * 10.0) for i in range(1, 6)]
+        scores = policy().score_jobs(make_ctx(make_view(queued=jobs)), jobs)
+        totals = [s.total for s in scores]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_dominant_objective_labels(self):
+        jobs = [make_job(1, nodes=8, memory=64.0, duration=10.0)]
+        scores = policy().score_jobs(make_ctx(make_view(queued=jobs)), jobs)
+        assert scores[0].dominant_objective() in {
+            "fairness", "makespan", "utilization", "throughput",
+        }
+
+
+class TestHallucinationAndRecovery:
+    def test_hallucination_proposes_infeasible(self):
+        profile = CLAUDE_37_SIM.with_hallucination_rate(1.0)
+        blocked = make_job(1, nodes=8)
+        small = make_job(2, nodes=1)
+        view = make_view(
+            queued=[blocked, small],
+            running=[RunningJob(make_job(3, nodes=6, duration=50.0), 0.0)],
+            free_nodes=2,
+            next_completion=50.0,
+        )
+        step = policy(profile).decide(make_ctx(view))
+        assert step.hallucinated
+        assert step.action.job_id == 1  # the infeasible one
+
+    def test_rejected_job_avoided_after_feedback(self):
+        profile = CLAUDE_37_SIM.with_hallucination_rate(1.0)
+        blocked = make_job(1, nodes=8)
+        small = make_job(2, nodes=1)
+        pad = Scratchpad()
+        pad.append(
+            0.0, "tried it", "StartJob(job_id=1)",
+            feedback="Job 1 cannot be started — requires 8 Nodes...",
+        )
+        view = make_view(
+            queued=[blocked, small],
+            running=[RunningJob(make_job(3, nodes=6, duration=50.0), 0.0)],
+            free_nodes=2,
+            next_completion=50.0,
+        )
+        step = policy(profile).decide(make_ctx(view, pad))
+        # Job 1 was rejected at this timestep: not proposed again.
+        assert step.action.job_id != 1
+
+    def test_zero_rate_never_hallucinates(self):
+        profile = CLAUDE_37_SIM.with_hallucination_rate(0.0)
+        blocked = make_job(1, nodes=8)
+        small = make_job(2, nodes=1)
+        view = make_view(
+            queued=[blocked, small],
+            running=[RunningJob(make_job(3, nodes=6, duration=50.0), 0.0)],
+            free_nodes=2,
+            next_completion=50.0,
+        )
+        for seed in range(20):
+            step = policy(profile, seed=seed).decide(make_ctx(view))
+            assert not step.hallucinated
+
+
+class TestStarvationProtection:
+    def test_starving_feasible_job_preferred(self):
+        profile = CLAUDE_37_SIM.with_weights(starvation_patience=0.1)
+        starving = make_job(1, submit=0.0, nodes=4, duration=100.0)
+        shiny = make_job(2, submit=4999.0, nodes=2, duration=5.0)
+        view = make_view(queued=[starving, shiny], now=5000.0)
+        step = policy(profile).decide(make_ctx(view))
+        assert step.action.job_id == 1
+        assert "Fairness check" in step.thought
+
+    def test_holds_resources_for_starving_infeasible_job(self):
+        profile = CLAUDE_37_SIM.with_weights(starvation_patience=0.1)
+        starving = make_job(1, submit=0.0, nodes=8, duration=100.0)
+        # This long job fits now but would delay the starving job.
+        tempting = make_job(2, submit=4999.0, nodes=4, duration=10_000.0)
+        view = make_view(
+            queued=[starving, tempting],
+            running=[RunningJob(make_job(3, nodes=4, duration=5050.0), 0.0)],
+            free_nodes=4,
+            now=5000.0,
+            next_completion=5050.0,
+        )
+        step = policy(profile).decide(make_ctx(view))
+        assert step.action.kind is ActionKind.DELAY
+        assert "hold" in step.thought
+
+    def test_safe_backfill_allowed_during_protection(self):
+        profile = CLAUDE_37_SIM.with_weights(starvation_patience=0.1)
+        starving = make_job(1, submit=0.0, nodes=8, duration=100.0)
+        quick = make_job(2, submit=4999.0, nodes=4, duration=10.0)
+        view = make_view(
+            queued=[starving, quick],
+            running=[RunningJob(make_job(3, nodes=4, duration=5050.0), 0.0)],
+            free_nodes=4,
+            now=5000.0,
+            next_completion=5050.0,
+        )
+        step = policy(profile).decide(make_ctx(view))
+        # Quick job ends before the starving job's shadow time (5050).
+        assert step.action.job_id == 2

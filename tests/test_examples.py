@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Examples are the library's public face; a release where they crash is
+broken regardless of unit-test status. Each runs in-process via runpy
+with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert ALL_EXAMPLES, f"no examples found in {EXAMPLES_DIR}"
+    assert "quickstart.py" in ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_mentions_all_schedulers(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for name in ("fcfs", "sjf", "ortools_like", "claude-3.7-sim"):
+        assert name in out
+    assert "Thought" in out
+
+
+def test_interpretability_traces_show_feedback(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "interpretability_traces.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "# Thought" in out
+    assert "# Action" in out

@@ -1,0 +1,68 @@
+"""Tests for the repro-sched CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["fig2"], ["fig3"], ["fig4"], ["fig5"], ["fig6"], ["fig7"],
+            ["fig8"], ["list"],
+            ["run", "--scenario", "adversarial", "--scheduler", "fcfs"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous_mix" in out
+        assert "claude-3.7-sim" in out
+
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--scenario", "resource_sparse", "--scheduler", "sjf",
+            "-n", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resource_sparse" in out
+        assert "sjf" in out
+
+    def test_run_llm_prints_overhead(self, capsys):
+        code = main([
+            "run", "--scenario", "resource_sparse",
+            "--scheduler", "claude-3.7-sim", "-n", "5",
+        ])
+        assert code == 0
+        assert "LLM overhead" in capsys.readouterr().out
+
+    def test_fig2_prints_traces(self, capsys):
+        assert main(["fig2", "--n-jobs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "# Thought" in out
+        assert "# Action" in out
+
+    def test_fig6_small(self, capsys):
+        assert main(["fig6", "--sizes", "5", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "o4-mini-sim" in out
+        assert "elapsed_s" in out
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--scenario", "resource_sparse",
+            "--a", "fcfs", "--b", "sjf", "-n", "6", "--seeds", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paired" in out
+        assert "makespan" in out

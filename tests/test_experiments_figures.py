@@ -1,0 +1,103 @@
+"""Tests for the per-figure drivers (scaled-down instances)."""
+
+import math
+
+import pytest
+
+from repro.experiments import figures
+from repro.metrics.objectives import METRIC_NAMES
+
+SMALL_SCHEDULERS = ("fcfs", "sjf", "claude-3.7-sim")
+
+
+class TestFigure2:
+    def test_trace_kinds_collected(self):
+        samples = figures.figure2(n_jobs=12, seed=0)
+        kinds = {s.action.split("(")[0] for s in samples}
+        assert "StartJob" in kinds or "BackfillJob" in kinds
+        assert any("Stop" == s.action for s in samples)
+
+    def test_rejected_trace_has_feedback(self):
+        samples = figures.figure2(
+            n_jobs=15, seed=1, hallucination_rate=0.6,
+            scenario="high_parallelism",
+        )
+        rejected = [s for s in samples if not s.accepted]
+        if rejected:  # hallucination must have found an infeasible target
+            assert rejected[0].feedback
+
+    def test_render(self):
+        samples = figures.figure2(n_jobs=8, seed=0)
+        text = samples[0].render()
+        assert "# Thought" in text
+        assert "# Action" in text
+
+
+class TestFigure3:
+    def test_structure_and_baseline(self):
+        data = figures.figure3(
+            n_jobs=12,
+            schedulers=SMALL_SCHEDULERS,
+            scenarios=("resource_sparse", "adversarial"),
+        )
+        assert set(data) == {"resource_sparse", "adversarial"}
+        for block in data.values():
+            assert set(block) == set(SMALL_SCHEDULERS)
+            for value in block["fcfs"].values():
+                assert value == pytest.approx(1.0) or math.isnan(value)
+            for metrics in block.values():
+                assert set(metrics) == set(METRIC_NAMES)
+
+
+class TestFigure4:
+    def test_sizes_covered(self):
+        data = figures.figure4(sizes=[5, 10], schedulers=SMALL_SCHEDULERS)
+        assert set(data) == {5, 10}
+        assert set(data[5]) == set(SMALL_SCHEDULERS)
+
+
+class TestFigure5:
+    def test_overhead_per_scenario(self):
+        data = figures.figure5(
+            n_jobs=8,
+            models=("claude-3.7-sim",),
+            scenarios=("resource_sparse",),
+        )
+        ov = data["resource_sparse"]["claude-3.7-sim"]
+        assert ov.n_accepted_placements == 8
+        assert ov.elapsed_s > 0
+
+
+class TestFigure6:
+    def test_call_counts_scale_with_jobs(self):
+        data = figures.figure6(sizes=[5, 15], models=("claude-3.7-sim",))
+        small = data[5]["claude-3.7-sim"]
+        large = data[15]["claude-3.7-sim"]
+        assert large.n_accepted_placements == 15
+        assert large.n_calls > small.n_calls
+        assert large.elapsed_s > small.elapsed_s
+
+
+class TestFigure7:
+    def test_deterministic_methods_are_flat(self):
+        data = figures.figure7(
+            n_jobs=15, n_repeats=3, schedulers=("fcfs", "sjf"),
+        )
+        for metric, bs in data["fcfs"].items():
+            assert bs.iqr == pytest.approx(0.0)
+            assert bs.n == 3
+
+    def test_structure(self):
+        data = figures.figure7(
+            n_jobs=10, n_repeats=2, schedulers=("fcfs", "claude-3.7-sim"),
+        )
+        assert set(data) == {"fcfs", "claude-3.7-sim"}
+        assert set(data["fcfs"]) == set(METRIC_NAMES)
+
+
+class TestFigure8:
+    def test_polaris_block(self):
+        data = figures.figure8(n_jobs=20, schedulers=SMALL_SCHEDULERS)
+        assert set(data) == set(SMALL_SCHEDULERS)
+        for value in data["fcfs"].values():
+            assert value == pytest.approx(1.0) or math.isnan(value)

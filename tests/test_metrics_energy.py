@@ -1,0 +1,77 @@
+"""Tests for the energy accounting extension."""
+
+import pytest
+
+from repro.metrics.energy import PowerModel, compare_energy, energy_report
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.optimizer import AnnealingOptimizer
+from repro.sim.schedule import JobRecord, ScheduleResult
+from repro.workloads.generator import generate_workload
+
+from tests.conftest import make_job, run_sim
+
+
+class TestPowerModel:
+    def test_defaults_valid(self):
+        PowerModel()
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=-1.0)
+
+    def test_active_below_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=200.0, active_watts=100.0)
+
+
+class TestEnergyReport:
+    def test_hand_computed(self):
+        # One job: 4 nodes × 3600 s on an 8-node partition.
+        records = [
+            JobRecord(make_job(1, duration=3600.0, nodes=4), 0.0, 3600.0)
+        ]
+        result = ScheduleResult(records, [], 8, 64.0)
+        model = PowerModel(idle_watts=100.0, active_watts=400.0)
+        report = energy_report(result, model)
+        # Active: 4 × 3600 × 300 W = 4.32e6 J = 1.2 kWh
+        assert report.active_kwh == pytest.approx(1.2)
+        # Idle: 8 nodes × 3600 s × 100 W = 2.88e6 J = 0.8 kWh
+        assert report.idle_kwh == pytest.approx(0.8)
+        assert report.total_kwh == pytest.approx(2.0)
+        # Average power: 2 kWh over 1 h = 2 kW.
+        assert report.average_kw == pytest.approx(2.0)
+        assert report.idle_fraction == pytest.approx(0.4)
+        assert report.energy_delay_product == pytest.approx(2.0 * 3600.0)
+
+    def test_empty_schedule(self):
+        report = energy_report(ScheduleResult([], [], 8, 64.0))
+        assert report.total_kwh == 0.0
+        assert report.idle_fraction == 0.0
+
+    def test_shorter_makespan_saves_idle_energy(self):
+        jobs = generate_workload(
+            "heterogeneous_mix", 40, seed=5, arrival_mode="zero"
+        )
+        fcfs = run_sim(jobs, FCFSScheduler())
+        opt = run_sim(jobs, AnnealingOptimizer(seed=0))
+        reports = compare_energy({"fcfs": fcfs, "opt": opt})
+        assert reports["opt"].active_kwh == pytest.approx(
+            reports["fcfs"].active_kwh
+        )
+        if opt.makespan < fcfs.makespan:
+            assert reports["opt"].idle_kwh < reports["fcfs"].idle_kwh
+            assert reports["opt"].total_kwh < reports["fcfs"].total_kwh
+
+
+class TestCompareEnergy:
+    def test_rejects_mismatched_workloads(self):
+        a = ScheduleResult(
+            [JobRecord(make_job(1, duration=10.0, nodes=2), 0.0, 10.0)],
+            [], 8, 64.0,
+        )
+        b = ScheduleResult(
+            [JobRecord(make_job(1, duration=99.0, nodes=2), 0.0, 99.0)],
+            [], 8, 64.0,
+        )
+        with pytest.raises(ValueError, match="not from the same workload"):
+            compare_energy({"a": a, "b": b})

@@ -1,0 +1,121 @@
+"""Unit tests for the §3.2 objectives against hand-computed values."""
+
+import pytest
+
+from repro.metrics.objectives import (
+    METRIC_NAMES,
+    average_turnaround_time,
+    average_wait_time,
+    compute_metrics,
+    makespan,
+    memory_utilization,
+    node_utilization,
+    per_job_fairness,
+    per_user_fairness,
+    throughput,
+)
+from repro.sim.schedule import JobRecord, ScheduleResult
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def simple_schedule():
+    """Two jobs on an 8-node/64 GB cluster:
+
+    job 1: submit 0, start 0, duration 10, 4 nodes, 16 GB (user a)
+    job 2: submit 0, start 10, duration 10, 4 nodes, 16 GB (user b)
+    """
+    records = [
+        JobRecord(make_job(1, duration=10.0, nodes=4, memory=16.0, user="a"), 0.0, 10.0),
+        JobRecord(make_job(2, duration=10.0, nodes=4, memory=16.0, user="b"), 10.0, 20.0),
+    ]
+    return ScheduleResult(
+        records=records, decisions=[], total_nodes=8, total_memory_gb=64.0,
+        scheduler_name="crafted",
+    )
+
+
+class TestHandComputed:
+    def test_makespan(self, simple_schedule):
+        assert makespan(simple_schedule.to_arrays()) == 20.0
+
+    def test_average_wait(self, simple_schedule):
+        # waits: 0 and 10 → mean 5
+        assert average_wait_time(simple_schedule.to_arrays()) == 5.0
+
+    def test_average_turnaround(self, simple_schedule):
+        # turnarounds: 10 and 20 → mean 15
+        assert average_turnaround_time(simple_schedule.to_arrays()) == 15.0
+
+    def test_throughput(self, simple_schedule):
+        # 2 jobs over window [min start = 0, max end = 20] → 0.1 jobs/s
+        assert throughput(simple_schedule.to_arrays()) == pytest.approx(0.1)
+
+    def test_node_utilization(self, simple_schedule):
+        # work = 2 × 4×10 = 80 node-s over 8 × 20 = 160 → 0.5
+        arrays = simple_schedule.to_arrays()
+        assert node_utilization(arrays, 8) == pytest.approx(0.5)
+
+    def test_memory_utilization(self, simple_schedule):
+        # 2 × 16×10 = 320 GB-s over 64 × 20 = 1280 → 0.25
+        arrays = simple_schedule.to_arrays()
+        assert memory_utilization(arrays, 64.0) == pytest.approx(0.25)
+
+    def test_wait_fairness(self, simple_schedule):
+        # waits [0, 10]: J = 100 / (2 × 100) = 0.5
+        assert per_job_fairness(simple_schedule.to_arrays()) == pytest.approx(0.5)
+
+    def test_user_fairness(self, simple_schedule):
+        # per-user means [0, 10] → same 0.5
+        assert per_user_fairness(simple_schedule.to_arrays()) == pytest.approx(0.5)
+
+    def test_user_fairness_aggregates_by_user(self):
+        records = [
+            JobRecord(make_job(1, user="a"), 0.0, 100.0),
+            JobRecord(make_job(2, user="a"), 20.0, 120.0),
+            JobRecord(make_job(3, user="b"), 10.0, 110.0),
+        ]
+        res = ScheduleResult(records, [], 8, 64.0)
+        # user a mean wait = 10, user b = 10 → perfect
+        assert per_user_fairness(res.to_arrays()) == pytest.approx(1.0)
+
+
+class TestEdgeCases:
+    def test_empty_schedule(self):
+        res = ScheduleResult([], [], 8, 64.0)
+        arrays = res.to_arrays()
+        assert makespan(arrays) == 0.0
+        assert average_wait_time(arrays) == 0.0
+        assert throughput(arrays) == 0.0
+        assert node_utilization(arrays, 8) == 0.0
+        assert per_job_fairness(arrays) == 1.0
+        assert per_user_fairness(arrays) == 1.0
+
+    def test_late_submission_offsets_makespan(self):
+        records = [JobRecord(make_job(1, submit=100.0, duration=10.0), 100.0, 110.0)]
+        res = ScheduleResult(records, [], 8, 64.0)
+        assert makespan(res.to_arrays()) == 10.0
+
+
+class TestComputeMetrics:
+    def test_report_has_all_metrics(self, simple_schedule):
+        report = compute_metrics(simple_schedule)
+        assert set(report.values) == set(METRIC_NAMES)
+        assert report.scheduler_name == "crafted"
+        assert report.n_jobs == 2
+
+    def test_report_getitem_and_dict(self, simple_schedule):
+        report = compute_metrics(simple_schedule)
+        assert report["makespan"] == 20.0
+        assert report.as_dict()["throughput"] == pytest.approx(0.1)
+
+    def test_utilization_bounded_for_real_runs(self):
+        from repro.schedulers.fcfs import FCFSScheduler
+        from tests.conftest import run_sim
+
+        jobs = [make_job(i, submit=i * 1.0, duration=50.0, nodes=2) for i in range(1, 20)]
+        result = run_sim(jobs, FCFSScheduler(), nodes=8, memory=64.0)
+        report = compute_metrics(result)
+        assert 0.0 < report["node_utilization"] <= 1.0
+        assert 0.0 < report["memory_utilization"] <= 1.0

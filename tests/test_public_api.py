@@ -1,0 +1,87 @@
+"""Consistency checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.experiments.report import METRIC_LABELS
+from repro.metrics.objectives import METRIC_NAMES
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.sim",
+            "repro.workloads",
+            "repro.schedulers",
+            "repro.core",
+            "repro.metrics",
+            "repro.experiments",
+            "repro.analysis",
+        ],
+    )
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestMetricLabelCoverage:
+    def test_every_metric_has_a_label(self):
+        assert set(METRIC_LABELS) == set(METRIC_NAMES)
+
+
+class TestRegistryProfileConsistency:
+    def test_every_profile_has_a_registered_scheduler(self):
+        from repro.core.profiles import MODEL_PROFILES
+        from repro.schedulers.registry import available_schedulers
+
+        for name in MODEL_PROFILES:
+            assert name in available_schedulers()
+
+    def test_registered_llm_names_round_trip(self):
+        from repro.core.profiles import MODEL_PROFILES
+        from repro.schedulers.registry import create_scheduler
+
+        for name in MODEL_PROFILES:
+            agent = create_scheduler(name, seed=0)
+            assert agent.name == name
+            assert agent.backend.profile.name == name
+
+
+class TestPromptShowsBlockedJobs:
+    def test_blocked_count_in_prompt(self):
+        from repro.core.prompt import PromptBuilder
+        from repro.core.scratchpad import Scratchpad
+        from repro.sim.simulator import SystemView
+
+        view = SystemView(
+            now=0.0, queued=(), running=(), completed_ids=(),
+            free_nodes=8, free_memory_gb=64.0, total_nodes=8,
+            total_memory_gb=64.0, pending_arrivals=0,
+            next_arrival_time=None, next_completion_time=None,
+            blocked_jobs=3,
+        )
+        text = PromptBuilder().build(view, Scratchpad()).prompt_text
+        assert "unmet dependencies" in text
+        assert "3" in text
+
+    def test_absent_when_no_blocked_jobs(self):
+        from repro.core.prompt import PromptBuilder
+        from repro.core.scratchpad import Scratchpad
+        from repro.sim.simulator import SystemView
+
+        view = SystemView(
+            now=0.0, queued=(), running=(), completed_ids=(),
+            free_nodes=8, free_memory_gb=64.0, total_nodes=8,
+            total_memory_gb=64.0, pending_arrivals=0,
+            next_arrival_time=None, next_completion_time=None,
+        )
+        text = PromptBuilder().build(view, Scratchpad()).prompt_text
+        assert "unmet dependencies" not in text

@@ -1,0 +1,149 @@
+"""Unit tests for the resource-profile packing engine."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers.packing import (
+    PackingError,
+    ResourceProfile,
+    pack_order,
+    plan_makespan,
+    plan_total_completion,
+)
+
+from tests.conftest import make_job
+
+
+class TestResourceProfile:
+    def test_empty_profile_starts_now(self):
+        profile = ResourceProfile(10.0, 8, 64.0)
+        assert profile.earliest_start(4, 16.0, 100.0, not_before=10.0) == 10.0
+
+    def test_respects_not_before(self):
+        profile = ResourceProfile(0.0, 8, 64.0)
+        assert profile.earliest_start(1, 1.0, 10.0, not_before=25.0) == 25.0
+
+    def test_waits_for_release(self):
+        # 2 free nodes now; 6 more at t=50.
+        profile = ResourceProfile(0.0, 2, 16.0, releases=[(50.0, 6, 48.0)])
+        assert profile.earliest_start(4, 8.0, 10.0, not_before=0.0) == 50.0
+
+    def test_fits_before_release_if_small(self):
+        profile = ResourceProfile(0.0, 2, 16.0, releases=[(50.0, 6, 48.0)])
+        assert profile.earliest_start(2, 8.0, 10.0, not_before=0.0) == 0.0
+
+    def test_reserve_blocks_interval(self):
+        profile = ResourceProfile(0.0, 8, 64.0)
+        profile.reserve(0.0, 100.0, 8, 64.0)
+        assert profile.earliest_start(1, 1.0, 10.0, not_before=0.0) == 100.0
+
+    def test_gap_must_cover_full_duration(self):
+        # Free 8 nodes until t=10, then busy [10, 50), then free.
+        profile = ResourceProfile(0.0, 8, 64.0)
+        profile.reserve(10.0, 40.0, 8, 64.0)
+        # A 10s job fits in the [0, 10) gap...
+        assert profile.earliest_start(2, 1.0, 10.0, not_before=0.0) == 0.0
+        # ...but a 20s job must wait for t=50.
+        assert profile.earliest_start(2, 1.0, 20.0, not_before=0.0) == 50.0
+
+    def test_oversubscribe_raises(self):
+        profile = ResourceProfile(0.0, 8, 64.0)
+        profile.reserve(0.0, 10.0, 6, 8.0)
+        with pytest.raises(PackingError):
+            profile.reserve(5.0, 10.0, 6, 8.0)
+
+    def test_never_fits_raises(self):
+        profile = ResourceProfile(0.0, 8, 64.0)
+        with pytest.raises(PackingError, match="never fits"):
+            profile.earliest_start(16, 1.0, 10.0, not_before=0.0)
+
+    def test_capacity_at(self):
+        profile = ResourceProfile(0.0, 8, 64.0, releases=[(10.0, 2, 8.0)])
+        assert profile.capacity_at(0.0) == (8.0, 64.0)
+        assert profile.capacity_at(10.0) == (10.0, 72.0)
+
+    def test_memory_constraint_checked(self):
+        profile = ResourceProfile(0.0, 8, 16.0, releases=[(30.0, 0, 48.0)])
+        assert profile.earliest_start(1, 32.0, 5.0, not_before=0.0) == 30.0
+
+
+class TestPackOrder:
+    def test_sequential_when_full(self):
+        jobs = [
+            make_job(1, duration=10.0, nodes=8),
+            make_job(2, duration=20.0, nodes=8),
+        ]
+        packed = pack_order(jobs, now=0.0, free_nodes=8, free_memory_gb=64.0)
+        assert packed[0].start == 0.0
+        assert packed[1].start == 10.0
+
+    def test_later_job_can_start_earlier(self):
+        # Order is a priority list: job 2 (second in order) fits in the
+        # gap before job 1's huge ask is satisfiable.
+        jobs = [
+            make_job(1, duration=10.0, nodes=8),
+            make_job(2, duration=5.0, nodes=8),
+            make_job(3, duration=3.0, nodes=2),
+        ]
+        packed = pack_order(
+            [jobs[0], jobs[1], jobs[2]],
+            now=0.0, free_nodes=8, free_memory_gb=64.0,
+        )
+        by_id = {p.job.job_id: p for p in packed}
+        assert by_id[1].start == 0.0
+        assert by_id[2].start == 10.0
+        assert by_id[3].start == 15.0
+
+    def test_respects_submit_times(self):
+        jobs = [make_job(1, submit=42.0, duration=10.0, nodes=1)]
+        packed = pack_order(jobs, now=0.0, free_nodes=8, free_memory_gb=64.0)
+        assert packed[0].start == 42.0
+
+    def test_respects_running_releases(self):
+        jobs = [make_job(1, duration=10.0, nodes=8)]
+        packed = pack_order(
+            jobs,
+            now=0.0,
+            free_nodes=2,
+            free_memory_gb=64.0,
+            releases=[(30.0, 6, 0.0)],
+        )
+        assert packed[0].start == 30.0
+
+    def test_packed_plan_never_oversubscribes(self):
+        rng = np.random.default_rng(3)
+        jobs = [
+            make_job(
+                i,
+                duration=float(rng.integers(5, 50)),
+                nodes=int(rng.integers(1, 9)),
+                memory=float(rng.integers(1, 65)),
+            )
+            for i in range(1, 40)
+        ]
+        packed = pack_order(jobs, now=0.0, free_nodes=8, free_memory_gb=64.0)
+        # Sweep check against capacity.
+        points = []
+        for p in packed:
+            points.append((p.end, 0, -p.job.nodes, -p.job.memory_gb))
+            points.append((p.start, 1, p.job.nodes, p.job.memory_gb))
+        points.sort(key=lambda x: (x[0], x[1]))
+        nodes = mem = 0.0
+        for _, _, dn, dm in points:
+            nodes += dn
+            mem += dm
+            assert nodes <= 8 + 1e-9
+            assert mem <= 64.0 + 1e-6
+
+    def test_plan_statistics(self):
+        jobs = [
+            make_job(1, duration=10.0, nodes=8),
+            make_job(2, duration=20.0, nodes=8),
+        ]
+        packed = pack_order(jobs, now=0.0, free_nodes=8, free_memory_gb=64.0)
+        assert plan_makespan(packed, 0.0) == 30.0
+        assert plan_total_completion(packed) == 40.0
+
+    def test_empty_plan(self):
+        assert plan_makespan([], 0.0) == 0.0
+        assert plan_total_completion([]) == 0.0

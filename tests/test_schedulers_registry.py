@@ -1,0 +1,63 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+import repro  # noqa: F401 - triggers LLM scheduler registration
+from repro.schedulers.registry import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "fcfs",
+            "fcfs_backfill",
+            "sjf",
+            "sjf_firstfit",
+            "ortools_like",
+            "genetic",
+            "first_fit",
+            "largest_first",
+            "random",
+            "claude-3.7-sim",
+            "o4-mini-sim",
+            "onprem-fast-sim",
+        ],
+    )
+    def test_create_each(self, name):
+        sched = create_scheduler(name, seed=0)
+        assert sched.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            create_scheduler("quantum_annealer")
+
+    def test_available_sorted(self):
+        names = available_schedulers()
+        assert names == sorted(names)
+        assert "fcfs" in names
+        assert "claude-3.7-sim" in names
+
+    def test_register_custom(self):
+        from repro.schedulers.fcfs import FCFSScheduler
+
+        class Custom(FCFSScheduler):
+            name = "custom_test"
+
+        register_scheduler("custom_test", lambda seed=0, **kw: Custom())
+        try:
+            assert create_scheduler("custom_test").name == "custom_test"
+        finally:
+            from repro.schedulers.registry import SCHEDULER_FACTORIES
+
+            SCHEDULER_FACTORIES.pop("custom_test")
+
+    def test_llm_kwargs_forwarded(self):
+        agent = create_scheduler(
+            "claude-3.7-sim", seed=1, hallucination_rate=0.0
+        )
+        assert agent.backend.profile.hallucination_rate == 0.0

@@ -1,0 +1,63 @@
+"""Unit tests for the action vocabulary."""
+
+import pytest
+
+from repro.sim.actions import (
+    Action,
+    ActionKind,
+    BackfillJob,
+    Delay,
+    StartJob,
+    Stop,
+)
+
+
+class TestConstruction:
+    def test_start_job(self):
+        action = StartJob(7)
+        assert action.kind is ActionKind.START
+        assert action.job_id == 7
+        assert action.places_job
+
+    def test_backfill_job(self):
+        action = BackfillJob(3)
+        assert action.kind is ActionKind.BACKFILL
+        assert action.places_job
+
+    def test_delay_and_stop_take_no_job(self):
+        assert Delay.job_id is None
+        assert Stop.job_id is None
+        assert not Delay.places_job
+        assert not Stop.places_job
+
+    def test_start_requires_job_id(self):
+        with pytest.raises(ValueError, match="requires a job_id"):
+            Action(ActionKind.START)
+
+    def test_delay_rejects_job_id(self):
+        with pytest.raises(ValueError, match="takes no job_id"):
+            Action(ActionKind.DELAY, job_id=1)
+
+
+class TestRendering:
+    def test_start_render(self):
+        assert StartJob(9).render() == "StartJob(job_id=9)"
+
+    def test_backfill_render(self):
+        assert BackfillJob(40).render() == "BackfillJob(job_id=40)"
+
+    def test_delay_render(self):
+        assert Delay.render() == "Delay"
+
+    def test_stop_render(self):
+        assert Stop.render() == "Stop"
+
+    def test_str_matches_render(self):
+        assert str(StartJob(2)) == StartJob(2).render()
+
+
+class TestEquality:
+    def test_actions_compare_by_value(self):
+        assert StartJob(1) == StartJob(1)
+        assert StartJob(1) != StartJob(2)
+        assert StartJob(1) != BackfillJob(1)

@@ -1,0 +1,81 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+def ev(time, kind=EventKind.ARRIVAL, job_id=1):
+    return Event(time=time, kind=kind, job_id=job_id)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        for t in [5.0, 1.0, 3.0]:
+            q.push(ev(t))
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_completion_before_arrival_at_same_time(self):
+        q = EventQueue()
+        q.push(ev(2.0, EventKind.ARRIVAL, job_id=10))
+        q.push(ev(2.0, EventKind.COMPLETION, job_id=20))
+        first, second = q.pop(), q.pop()
+        assert first.kind is EventKind.COMPLETION
+        assert second.kind is EventKind.ARRIVAL
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        for job_id in (7, 8, 9):
+            q.push(ev(1.0, EventKind.ARRIVAL, job_id=job_id))
+        assert [q.pop().job_id for _ in range(3)] == [7, 8, 9]
+
+
+class TestQueueOperations:
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(ev(1.0))
+        assert q.peek() is not None
+        assert len(q) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+        assert EventQueue().peek_time() is None
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(ev(3.5))
+        assert q.peek_time() == 3.5
+
+    def test_pop_until_inclusive(self):
+        q = EventQueue()
+        for t in [1.0, 2.0, 3.0, 4.0]:
+            q.push(ev(t))
+        popped = q.pop_until(3.0)
+        assert [e.time for e in popped] == [1.0, 2.0, 3.0]
+        assert len(q) == 1
+
+    def test_pop_until_empty_result(self):
+        q = EventQueue()
+        q.push(ev(10.0))
+        assert q.pop_until(5.0) == []
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(ev(1.0))
+        assert q and len(q) == 1
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(ev(-1.0))
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(ev(float("nan")))

@@ -1,0 +1,75 @@
+"""Unit tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import AllAtZero, BurstyArrivals, PoissonArrivals
+
+
+class TestAllAtZero:
+    def test_all_zero(self):
+        times = AllAtZero().times(np.random.default_rng(0), 10)
+        assert (times == 0.0).all()
+
+    def test_empty(self):
+        assert AllAtZero().times(np.random.default_rng(0), 0).size == 0
+
+
+class TestPoisson:
+    def test_first_arrival_at_zero(self, rng):
+        times = PoissonArrivals(rate=0.1).times(rng, 50)
+        assert times[0] == 0.0
+
+    def test_sorted_non_negative(self, rng):
+        times = PoissonArrivals(rate=0.1).times(rng, 100)
+        assert (np.diff(times) >= 0).all()
+        assert (times >= 0).all()
+
+    def test_mean_gap_matches_rate(self):
+        rng = np.random.default_rng(7)
+        times = PoissonArrivals(rate=0.5).times(rng, 5000)
+        mean_gap = np.diff(times).mean()
+        assert mean_gap == pytest.approx(2.0, rel=0.1)
+
+    def test_deterministic_under_seed(self):
+        a = PoissonArrivals(rate=0.2).times(np.random.default_rng(3), 20)
+        b = PoissonArrivals(rate=0.2).times(np.random.default_rng(3), 20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=-1.0)
+
+    def test_empty(self, rng):
+        assert PoissonArrivals(rate=1.0).times(rng, 0).size == 0
+
+
+class TestBursty:
+    def test_sorted_non_negative(self, rng):
+        times = BurstyArrivals().times(rng, 60)
+        assert (np.diff(times) >= 0).all()
+        assert times[0] == 0.0
+
+    def test_idle_gaps_between_bursts(self):
+        rng = np.random.default_rng(11)
+        proc = BurstyArrivals(burst_size=5, burst_rate=1.0, idle_gap=10_000.0)
+        times = proc.times(rng, 30)
+        gaps = np.diff(times)
+        # Gaps at burst boundaries (index 4, 9, ... in diff space) dwarf
+        # within-burst gaps on average.
+        boundary = gaps[4::5]
+        within = np.delete(gaps, slice(4, None, 5))
+        assert boundary.mean() > 50 * within.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_size=0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_rate=0.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(idle_gap=-1.0)
+
+    def test_empty(self, rng):
+        assert BurstyArrivals().times(rng, 0).size == 0

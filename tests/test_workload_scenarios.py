@@ -1,0 +1,131 @@
+"""Unit tests for the seven paper scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.scenarios import (
+    CLUSTER_MEMORY_GB,
+    CLUSTER_NODES,
+    FIGURE3_SCENARIOS,
+    PAPER_JOB_COUNTS,
+    SCENARIOS,
+    get_scenario,
+)
+
+
+class TestRegistry:
+    def test_seven_scenarios(self):
+        assert len(SCENARIOS) == 7
+
+    def test_paper_names_present(self):
+        expected = {
+            "homogeneous_short",
+            "heterogeneous_mix",
+            "long_job_dominant",
+            "high_parallelism",
+            "resource_sparse",
+            "bursty_idle",
+            "adversarial",
+        }
+        assert set(SCENARIOS) == expected
+
+    def test_figure3_excludes_heterogeneous_mix(self):
+        assert "heterogeneous_mix" not in FIGURE3_SCENARIOS
+        assert len(FIGURE3_SCENARIOS) == 6
+
+    def test_paper_job_counts(self):
+        assert PAPER_JOB_COUNTS == (10, 20, 40, 60, 80, 100)
+
+    def test_get_scenario_error(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_get_scenario_lookup(self):
+        assert get_scenario("adversarial").name == "adversarial"
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_draws_within_capacity(self, name, rng):
+        scenario = SCENARIOS[name]
+        for i in range(200):
+            draw = scenario.sample(rng, i, 200)
+            assert 1 <= draw.nodes <= CLUSTER_NODES
+            assert 0 < draw.memory_gb <= CLUSTER_MEMORY_GB
+            assert draw.duration >= 1.0
+
+    def test_homogeneous_short_spec(self, rng):
+        scenario = SCENARIOS["homogeneous_short"]
+        for i in range(100):
+            draw = scenario.sample(rng, i, 100)
+            assert draw.nodes == 2
+            assert draw.memory_gb == 4.0
+            assert 30.0 <= draw.duration <= 120.0
+
+    def test_resource_sparse_spec(self, rng):
+        scenario = SCENARIOS["resource_sparse"]
+        for i in range(100):
+            draw = scenario.sample(rng, i, 100)
+            assert draw.nodes == 1
+            assert draw.memory_gb <= 8.0
+            assert 30.0 <= draw.duration <= 300.0
+
+    def test_long_job_dominant_mixture(self):
+        rng = np.random.default_rng(5)
+        scenario = SCENARIOS["long_job_dominant"]
+        draws = [scenario.sample(rng, i, 1000) for i in range(1000)]
+        long_jobs = [d for d in draws if d.duration == 50_000.0]
+        short_jobs = [d for d in draws if d.duration == 500.0]
+        assert len(long_jobs) + len(short_jobs) == 1000
+        assert 0.15 <= len(long_jobs) / 1000 <= 0.25
+        assert all(d.nodes == 128 for d in long_jobs)
+        assert all(d.nodes == 2 for d in short_jobs)
+
+    def test_high_parallelism_node_range(self, rng):
+        scenario = SCENARIOS["high_parallelism"]
+        nodes = [scenario.sample(rng, i, 100).nodes for i in range(100)]
+        assert min(nodes) >= 64
+        assert max(nodes) <= 256
+
+    def test_adversarial_structure(self, rng):
+        scenario = SCENARIOS["adversarial"]
+        first = scenario.sample(rng, 0, 50)
+        assert first.nodes == 128
+        assert first.duration == 100_000.0
+        rest = [scenario.sample(rng, i, 50) for i in range(1, 50)]
+        assert all(d.nodes == 1 and d.duration == 60.0 for d in rest)
+
+    def test_bursty_idle_alternation(self, rng):
+        scenario = SCENARIOS["bursty_idle"]
+        short = scenario.sample(rng, 0, 10)
+        long = scenario.sample(rng, 1, 10)
+        assert short.duration <= 300.0
+        assert long.duration >= 4000.0
+
+    def test_heterogeneous_mix_gamma_mean(self):
+        rng = np.random.default_rng(9)
+        scenario = SCENARIOS["heterogeneous_mix"]
+        durations = [scenario.sample(rng, i, 3000).duration for i in range(3000)]
+        # Gamma(1.5, 300) has mean 450 (clamping at 1s barely shifts it).
+        assert np.mean(durations) == pytest.approx(450.0, rel=0.1)
+
+    def test_heterogeneity_scores(self):
+        assert SCENARIOS["heterogeneous_mix"].heterogeneity == 1.0
+        assert SCENARIOS["homogeneous_short"].heterogeneity < 0.2
+
+
+class TestClamping:
+    def test_clamped_draw(self):
+        from repro.workloads.scenarios import JobDraw
+
+        draw = JobDraw(duration=0.1, nodes=1000, memory_gb=10_000.0).clamped()
+        assert draw.duration == 1.0
+        assert draw.nodes == CLUSTER_NODES
+        assert draw.memory_gb == CLUSTER_MEMORY_GB
+
+    def test_clamped_minimum(self):
+        from repro.workloads.scenarios import JobDraw
+
+        draw = JobDraw(duration=5.0, nodes=0, memory_gb=0.0).clamped()
+        assert draw.nodes == 1
+        assert draw.memory_gb == 0.5

@@ -1,0 +1,58 @@
+"""Unit tests for trace CSV I/O."""
+
+import io
+
+import pytest
+
+from repro.workloads.generator import generate_workload
+from repro.workloads.traceio import (
+    jobs_from_csv,
+    jobs_from_csv_string,
+    jobs_to_csv,
+    jobs_to_csv_string,
+)
+
+
+class TestRoundTrip:
+    def test_string_round_trip_exact(self):
+        jobs = generate_workload("heterogeneous_mix", 20, seed=3)
+        text = jobs_to_csv_string(jobs)
+        back = jobs_from_csv_string(text)
+        assert back == jobs
+
+    def test_file_round_trip(self, tmp_path):
+        jobs = generate_workload("bursty_idle", 15, seed=1)
+        path = tmp_path / "trace.csv"
+        jobs_to_csv(jobs, path)
+        assert jobs_from_csv(path) == jobs
+
+    def test_handle_round_trip(self):
+        jobs = generate_workload("adversarial", 5, seed=0)
+        buf = io.StringIO()
+        jobs_to_csv(jobs, buf)
+        buf.seek(0)
+        assert jobs_from_csv(buf) == jobs
+
+    def test_empty_workload(self):
+        assert jobs_from_csv_string(jobs_to_csv_string([])) == []
+
+
+class TestErrors:
+    def test_missing_column(self):
+        with pytest.raises(ValueError, match="missing columns"):
+            jobs_from_csv_string("job_id,submit_time\n1,0\n")
+
+    def test_malformed_row(self):
+        jobs = generate_workload("adversarial", 2, seed=0)
+        text = jobs_to_csv_string(jobs)
+        bad = text.replace("60.0", "sixty", 1)
+        with pytest.raises(ValueError, match="malformed trace row"):
+            jobs_from_csv_string(bad)
+
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="empty trace file"):
+            jobs_from_csv_string("")
+
+    def test_header_only_is_empty_workload(self):
+        jobs = jobs_from_csv_string(jobs_to_csv_string([]))
+        assert jobs == []
