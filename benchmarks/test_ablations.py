@@ -11,7 +11,6 @@ of the ReAct agent contributes:
 """
 
 import numpy as np
-import pytest
 
 from repro.core.agent import create_llm_scheduler
 from repro.core.profiles import CLAUDE_37_SIM

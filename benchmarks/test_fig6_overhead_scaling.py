@@ -7,7 +7,6 @@ O4-Mini-sim grows superlinearly with heavy-tailed outliers; at 100
 jobs the gap is several-fold (paper: ~4 000–7 000 s vs ~700 s).
 """
 
-import numpy as np
 
 from repro.experiments.figures import figure6
 from repro.experiments.report import render_overhead_table

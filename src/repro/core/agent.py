@@ -29,7 +29,7 @@ from repro.core.backends import (
 )
 from repro.core.constraints import render_feedback, render_parse_feedback
 from repro.core.grammar import ActionParseError, parse_reply
-from repro.core.profiles import MODEL_PROFILES, ModelProfile, get_profile
+from repro.core.profiles import ModelProfile, get_profile
 from repro.core.prompt import PromptBuilder
 from repro.core.scratchpad import Scratchpad
 from repro.schedulers.base import BaseScheduler

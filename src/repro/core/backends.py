@@ -16,7 +16,7 @@ Latency is *virtual*: a sampled number recorded for overhead analysis
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 

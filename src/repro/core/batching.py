@@ -23,7 +23,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.core.backends import LLMCallRecord, SimulatedReasoningBackend
+from repro.core.backends import LLMCallRecord
 from repro.core.constraints import render_feedback
 from repro.core.grammar import action_tag
 from repro.core.profiles import ModelProfile, get_profile
@@ -31,7 +31,7 @@ from repro.core.prompt import PromptBuilder, estimate_tokens
 from repro.core.reasoning import ReasoningPolicy
 from repro.core.scratchpad import Scratchpad
 from repro.schedulers.base import BaseScheduler
-from repro.sim.actions import Action, BackfillJob, Delay, StartJob, Stop
+from repro.sim.actions import Action, Delay, Stop
 from repro.sim.constraints import Violation
 from repro.sim.simulator import SystemView
 

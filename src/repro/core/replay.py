@@ -21,9 +21,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
 
 from repro.core.backends import LLMBackend, LLMReply
 from repro.core.prompt import PromptContext

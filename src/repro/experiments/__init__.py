@@ -8,6 +8,12 @@ record). :mod:`repro.experiments.cli` exposes everything as the
 ``repro-sched`` command.
 """
 
+from repro.experiments.parallel import (
+    MatrixCell,
+    expand_cells,
+    run_cells,
+    run_matrix_parallel,
+)
 from repro.experiments.runner import (
     DEFAULT_SCHEDULERS,
     ExperimentRun,
@@ -15,11 +21,19 @@ from repro.experiments.runner import (
     run_matrix,
     run_single,
 )
+from repro.experiments.store import SCHEMA_VERSION, RunStore, StoredRun
 
 __all__ = [
     "DEFAULT_SCHEDULERS",
     "ExperimentRun",
+    "MatrixCell",
     "OverheadSummary",
+    "RunStore",
+    "SCHEMA_VERSION",
+    "StoredRun",
+    "expand_cells",
+    "run_cells",
     "run_matrix",
+    "run_matrix_parallel",
     "run_single",
 ]

@@ -8,6 +8,9 @@ ad-hoc single simulations, and list registered scenarios/schedulers::
     repro-sched fig5 | fig6 | fig7 | fig8
     repro-sched fig2                 # reasoning traces
     repro-sched run --scenario long_job_dominant --scheduler claude-3.7-sim -n 60
+    repro-sched matrix --scenarios adversarial resource_sparse --sizes 20 40 \
+        --workers 4 --out runs.jsonl --resume
+    repro-sched report --store runs.jsonl
     repro-sched list
 """
 
@@ -18,7 +21,9 @@ import sys
 from typing import Optional, Sequence
 
 from repro.experiments import figures, report
+from repro.experiments.parallel import expand_cells, run_matrix_parallel
 from repro.experiments.runner import DEFAULT_SCHEDULERS, run_single
+from repro.experiments.store import RunStore
 from repro.metrics.normalize import normalize_to_baseline
 from repro.schedulers.registry import available_schedulers
 from repro.workloads.scenarios import SCENARIOS
@@ -83,7 +88,71 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument(
         "--arrival-mode", choices=["scenario", "zero"], default="scenario"
     )
+    pr.add_argument(
+        "--enforce-walltime",
+        action="store_true",
+        help="kill jobs at their requested walltime (trace realism)",
+    )
+    pr.add_argument(
+        "--max-decisions",
+        type=int,
+        default=None,
+        help="hard cap on scheduler queries (default: 200·n_jobs + 1000)",
+    )
     _add_common(pr)
+
+    pm = sub.add_parser(
+        "matrix",
+        help="parallel scenarios × sizes × schedulers × seeds sweep",
+    )
+    pm.add_argument(
+        "--scenarios",
+        nargs="+",
+        required=True,
+        choices=sorted(SCENARIOS),
+        help="scenario names to sweep",
+    )
+    pm.add_argument("--sizes", type=int, nargs="+", required=True)
+    pm.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=list(DEFAULT_SCHEDULERS),
+        help="scheduler names (default: the paper's comparison set)",
+    )
+    pm.add_argument(
+        "--seeds", type=int, nargs="+", default=[0], help="workload seeds"
+    )
+    pm.add_argument(
+        "--scheduler-seeds",
+        type=int,
+        nargs="+",
+        default=[0],
+        help="scheduler RNG seeds (repetition sweeps)",
+    )
+    pm.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process pool size (default: all cores; 1 = inline)",
+    )
+    pm.add_argument(
+        "--out",
+        default=None,
+        help="JSONL artifact store path; each run streams in on completion",
+    )
+    pm.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already persisted in --out",
+    )
+    pm.add_argument(
+        "--arrival-mode", choices=["scenario", "zero"], default="scenario"
+    )
+
+    ps = sub.add_parser(
+        "report", help="render normalized metrics from a JSONL artifact store"
+    )
+    ps.add_argument("--store", required=True, help="path written by matrix --out")
 
     pc = sub.add_parser(
         "compare",
@@ -186,6 +255,78 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(report.render_figure8(data))
         return 0
 
+    if args.command == "matrix":
+        if args.resume and not args.out:
+            print("error: --resume requires --out", file=sys.stderr)
+            return 2
+        store = RunStore(args.out) if args.out else None
+
+        def progress(cell, completed, total):
+            print(
+                f"[{completed}/{total}] {cell.scenario} n={cell.n_jobs} "
+                f"{cell.scheduler} wseed={cell.workload_seed} "
+                f"sseed={cell.scheduler_seed}",
+                flush=True,
+            )
+
+        try:
+            runs = run_matrix_parallel(
+                args.scenarios,
+                args.sizes,
+                args.schedulers,
+                workload_seeds=args.seeds,
+                scheduler_seeds=args.scheduler_seeds,
+                arrival_mode=args.arrival_mode,
+                workers=args.workers,
+                store=store,
+                resume=args.resume,
+                progress=progress,
+            )
+        except KeyboardInterrupt:
+            if store is not None:
+                print(
+                    f"\ninterrupted — {len(store.completed_keys())} cells "
+                    f"persisted in {args.out}; re-run with --resume to "
+                    "finish the rest",
+                    file=sys.stderr,
+                )
+            else:
+                print("\ninterrupted (no --out store; nothing persisted)",
+                      file=sys.stderr)
+            return 130
+        cells = expand_cells(
+            args.scenarios,
+            args.sizes,
+            args.schedulers,
+            workload_seeds=args.seeds,
+            scheduler_seeds=args.scheduler_seeds,
+            arrival_mode=args.arrival_mode,
+        )
+        if args.resume:
+            print(f"resumed: {len(cells) - len(runs)} cells already in "
+                  f"{args.out}, {len(runs)} executed")
+        # Report this invocation's matrix: fresh results win, persisted
+        # runs fill in resumed cells, and unrelated sweeps sharing the
+        # store file stay out of the output.
+        source = list(runs)
+        if store is not None:
+            fresh = {r.key for r in runs}
+            wanted = {c.key for c in cells}
+            source += [
+                s for s in store.load()
+                if s.key in wanted and s.key not in fresh
+            ]
+        print(report.render_matrix_blocks(figures.matrix_blocks(source)))
+        return 0
+
+    if args.command == "report":
+        stored = RunStore(args.store).load()
+        if not stored:
+            print(f"no runs in {args.store}", file=sys.stderr)
+            return 1
+        print(report.render_matrix_blocks(figures.matrix_blocks(stored)))
+        return 0
+
     if args.command == "run":
         run = run_single(
             args.scenario,
@@ -194,6 +335,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workload_seed=args.seed,
             scheduler_seed=args.scheduler_seed,
             arrival_mode=args.arrival_mode,
+            enforce_walltime=args.enforce_walltime,
+            max_decisions=args.max_decisions,
         )
         base = run_single(
             args.scenario,
@@ -201,6 +344,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "fcfs",
             workload_seed=args.seed,
             arrival_mode=args.arrival_mode,
+            enforce_walltime=args.enforce_walltime,
         )
         block = {
             "fcfs": normalize_to_baseline(base.values, base.values),

@@ -20,7 +20,7 @@ tests and the CLI share one code path; rendering lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Protocol, Sequence
 
 from repro.analysis.stats import BoxStats, box_stats
 from repro.experiments.runner import (
@@ -49,6 +49,81 @@ BASELINE = "fcfs"
 # ---------------------------------------------------------------------------
 # Shared plumbing
 # ---------------------------------------------------------------------------
+
+#: Key of one workload instance inside a sweep:
+#: (scenario, n_jobs, workload_seed, arrival_mode).
+InstanceKey = tuple[str, int, int, str]
+
+
+class RunLike(Protocol):
+    """Structural type shared by :class:`ExperimentRun` and
+    :class:`~repro.experiments.store.StoredRun`: cell identity plus a
+    metric dict."""
+
+    scenario: str
+    n_jobs: int
+    workload_seed: int
+    scheduler: str
+    arrival_mode: str
+
+    @property
+    def values(self) -> dict[str, float]: ...
+
+
+def matrix_blocks(
+    runs: Sequence["RunLike"],
+    *,
+    baseline: str = BASELINE,
+) -> dict[InstanceKey, dict[str, dict[str, float]]]:
+    """Normalized figure blocks from sweep results or stored artifacts.
+
+    Accepts any mix of :class:`ExperimentRun` and
+    :class:`~repro.experiments.store.StoredRun` (anything with the cell
+    identity fields and a ``values`` dict), groups them by workload
+    instance, averages metric values over scheduler seeds, and
+    normalizes each block to *baseline* — the Fig. 3/4 transformation,
+    applied to a whole persisted sweep.
+
+    Blocks whose instance lacks a *baseline* run are returned with raw
+    (unnormalized) metric values.
+    """
+    grouped: dict[InstanceKey, dict[str, list[dict[str, float]]]] = {}
+    for run in runs:
+        key = (
+            run.scenario,
+            run.n_jobs,
+            run.workload_seed,
+            getattr(run, "arrival_mode", "scenario"),
+        )
+        grouped.setdefault(key, {}).setdefault(run.scheduler, []).append(
+            dict(run.values)
+        )
+
+    out: dict[InstanceKey, dict[str, dict[str, float]]] = {}
+    for key in sorted(grouped):
+        per_sched = {
+            name: {
+                metric: float(
+                    sum(v[metric] for v in values) / len(values)
+                )
+                for metric in values[0]
+            }
+            for name, values in grouped[key].items()
+        }
+        base = per_sched.get(baseline)
+        # Baseline first, remaining schedulers alphabetical: block row
+        # order stays deterministic even when the store was written in
+        # pool completion order.
+        ordered = sorted(per_sched, key=lambda n: (n != baseline, n))
+        out[key] = {
+            name: (
+                normalize_to_baseline(per_sched[name], base)
+                if base is not None
+                else per_sched[name]
+            )
+            for name in ordered
+        }
+    return out
 
 def _normalized_block(
     runs: Mapping[str, ExperimentRun]

@@ -1,0 +1,238 @@
+"""Process-pool experiment engine with streaming, resumable artifacts.
+
+The paper's evaluation matrix (scenarios × sizes × schedulers × seeds)
+is embarrassingly parallel: every cell generates its workload from its
+own seed and simulates independently. This module fans the cells out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` (the SimCash
+replication idiom), streams each finished run into a
+:class:`~repro.experiments.store.RunStore` the moment it completes, and
+— with ``resume=True`` — skips cells the store already holds, so a
+killed sweep restarts where it left off.
+
+Determinism is part of the contract: a cell's result depends only on
+its (scenario, n_jobs, scheduler, workload_seed, scheduler_seed,
+arrival_mode) identity, never on worker scheduling, so
+:func:`run_matrix_parallel` returns results bit-identical to the serial
+:func:`~repro.experiments.runner.run_matrix` for the same seeds, in the
+same deterministic cell order.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.experiments.runner import (
+    DEFAULT_SCHEDULERS,
+    ExperimentRun,
+    run_single,
+)
+from repro.experiments.store import CellKey, RunStore, cell_key
+from repro.workloads.generator import ArrivalMode
+
+#: Progress callback: (cell, completed runs so far, total cells).
+ProgressFn = Callable[["MatrixCell", int, int], None]
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """Identity of one independent simulation in a sweep."""
+
+    scenario: str
+    n_jobs: int
+    scheduler: str
+    workload_seed: int = 0
+    scheduler_seed: int = 0
+    arrival_mode: ArrivalMode = "scenario"
+
+    @property
+    def key(self) -> CellKey:
+        return cell_key(
+            self.scenario,
+            self.n_jobs,
+            self.scheduler,
+            self.workload_seed,
+            self.scheduler_seed,
+            self.arrival_mode,
+        )
+
+
+def expand_cells(
+    scenarios: Sequence[str],
+    sizes: Sequence[int],
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    *,
+    workload_seeds: Sequence[int] = (0,),
+    scheduler_seeds: Sequence[int] = (0,),
+    arrival_mode: ArrivalMode = "scenario",
+) -> list[MatrixCell]:
+    """Enumerate the full matrix in canonical (deterministic) order.
+
+    Nesting matches :func:`~repro.experiments.runner.run_matrix` —
+    scenario → size → scheduler — with seed replication innermost, so a
+    single-seed parallel sweep returns runs in exactly the serial
+    order.
+    """
+    return [
+        MatrixCell(scenario, n_jobs, scheduler, wseed, sseed, arrival_mode)
+        for scenario in scenarios
+        for n_jobs in sizes
+        for scheduler in schedulers
+        for wseed in workload_seeds
+        for sseed in scheduler_seeds
+    ]
+
+
+def _worker_init() -> None:
+    """Workers ignore SIGINT: a terminal Ctrl-C signals the whole
+    process group, and without this the in-flight cells die with the
+    keystroke instead of finishing and being persisted. Cancellation
+    stays the parent's job (it stops feeding the pool)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _execute_cell(cell: MatrixCell) -> ExperimentRun:
+    """Worker entry point: simulate one cell (top-level for pickling)."""
+    return run_single(
+        cell.scenario,
+        cell.n_jobs,
+        cell.scheduler,
+        workload_seed=cell.workload_seed,
+        scheduler_seed=cell.scheduler_seed,
+        arrival_mode=cell.arrival_mode,
+    )
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a worker request: ``None`` → all cores, otherwise a
+    floor of 1. Requests above the core count are honored as given —
+    deliberate oversubscription is harmless (the OS time-slices) and
+    it keeps the pool path exercisable on small machines."""
+    if workers is None:
+        return os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def run_cells(
+    cells: Sequence[MatrixCell],
+    *,
+    workers: Optional[int] = None,
+    store: Optional[Union[RunStore, str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> list[ExperimentRun]:
+    """Execute *cells* across a process pool, streaming to *store*.
+
+    Returns the runs for the cells actually executed, in the order the
+    cells were given (completion order never leaks into results). With
+    ``resume=True`` and a store, cells whose key the store already
+    holds are skipped — read them back with ``store.load()``.
+    """
+    if isinstance(store, (str, Path)):
+        store = RunStore(store)
+    if resume and store is None:
+        raise ValueError("resume=True requires a store")
+
+    pending = list(cells)
+    if resume and store is not None:
+        done = store.completed_keys()
+        pending = [c for c in pending if c.key not in done]
+
+    n_workers = resolve_workers(workers)
+    results: dict[int, ExperimentRun] = {}
+
+    def record(index: int, run: ExperimentRun) -> None:
+        results[index] = run
+        if store is not None:
+            store.append(run)
+        if progress is not None:
+            progress(pending[index], len(results), len(pending))
+
+    if n_workers == 1 or len(pending) <= 1:
+        # Inline path: no pool overhead, trivially deterministic —
+        # also what a 1-core container degrades to.
+        for i, cell in enumerate(pending):
+            record(i, _execute_cell(cell))
+    else:
+        with ProcessPoolExecutor(
+            max_workers=n_workers, initializer=_worker_init
+        ) as pool:
+            futures = {
+                pool.submit(_execute_cell, cell): i
+                for i, cell in enumerate(pending)
+            }
+            try:
+                for future in as_completed(futures):
+                    record(futures[future], future.result())
+            except BaseException:
+                # Ctrl-C or one failing cell: drop the queued cells,
+                # let the <= n_workers in-flight cells finish, and
+                # persist those (plus any finished-but-unrecorded
+                # ones) — a resumed sweep then loses nothing that
+                # actually completed. Without this, the pool's exit
+                # handler would silently run the *entire* remaining
+                # queue while discarding every result.
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future, i in futures.items():
+                    if (
+                        i not in results
+                        and future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        record(i, future.result())
+                raise
+    return [results[i] for i in range(len(pending))]
+
+
+def run_matrix_parallel(
+    scenarios: Sequence[str],
+    sizes: Sequence[int],
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    *,
+    workload_seeds: Sequence[int] = (0,),
+    scheduler_seeds: Sequence[int] = (0,),
+    arrival_mode: ArrivalMode = "scenario",
+    workers: Optional[int] = None,
+    store: Optional[Union[RunStore, str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> list[ExperimentRun]:
+    """Parallel, resumable scenarios × sizes × schedulers × seeds sweep.
+
+    The parallel counterpart of
+    :func:`~repro.experiments.runner.run_matrix`: for the same seeds it
+    produces identical metrics in the identical order, just faster.
+    Accepts seed *sequences* so repetition sweeps (paper Fig. 7 style)
+    fan out over the same pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` uses every core, ``1`` runs inline.
+    store:
+        Optional :class:`RunStore` (or path) that receives each
+        completed run as one JSONL line, immediately on completion.
+    resume:
+        Skip cells already persisted in *store*; only the remaining
+        cells are executed (and returned).
+    """
+    cells = expand_cells(
+        scenarios,
+        sizes,
+        schedulers,
+        workload_seeds=workload_seeds,
+        scheduler_seeds=scheduler_seeds,
+        arrival_mode=arrival_mode,
+    )
+    return run_cells(
+        cells,
+        workers=workers,
+        store=store,
+        resume=resume,
+        progress=progress,
+    )

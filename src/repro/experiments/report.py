@@ -50,7 +50,10 @@ def format_table(
 
 
 def render_normalized_block(
-    block: Mapping[str, Mapping[str, float]], title: str
+    block: Mapping[str, Mapping[str, float]],
+    title: str,
+    *,
+    suffix: str = "(normalized to FCFS = 1.0)",
 ) -> str:
     """Render one {scheduler: {metric: normalized}} block."""
     headers = ["scheduler"] + [METRIC_LABELS[m] for m in METRIC_NAMES]
@@ -60,9 +63,37 @@ def render_normalized_block(
             [scheduler]
             + [_fmt(metrics.get(m, math.nan)).strip() for m in METRIC_NAMES]
         )
-    return f"== {title} (normalized to FCFS = 1.0)\n" + format_table(
-        headers, rows
-    )
+    return f"== {title} {suffix}\n" + format_table(headers, rows)
+
+
+def render_matrix_blocks(
+    blocks: Mapping[
+        tuple[str, int, int, str], Mapping[str, Mapping[str, float]]
+    ],
+) -> str:
+    """Render a whole sweep (e.g. loaded from a ``RunStore``) as one
+    normalized block per workload instance.
+
+    *blocks* is the output of
+    :func:`repro.experiments.figures.matrix_blocks`, keyed by
+    (scenario, n_jobs, workload_seed, arrival_mode). Blocks without an
+    ``fcfs`` baseline carry raw metric values (matrix_blocks leaves
+    them unnormalized), so the header says which it is.
+    """
+    parts = [
+        render_normalized_block(
+            block,
+            f"{scenario}, {n_jobs} jobs, seed {seed}"
+            + ("" if mode == "scenario" else f", {mode} arrivals"),
+            suffix=(
+                "(normalized to FCFS = 1.0)"
+                if "fcfs" in block
+                else "(raw values; no fcfs baseline in sweep)"
+            ),
+        )
+        for (scenario, n_jobs, seed, mode), block in blocks.items()
+    ]
+    return "\n\n".join(parts)
 
 
 def render_figure3(

@@ -10,14 +10,13 @@ reasoning cost).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
-
-import numpy as np
 
 from repro.analysis.stats import LatencySummary, summarize_latencies
 from repro.metrics.objectives import MetricReport, compute_metrics
 from repro.schedulers.registry import create_scheduler
+from repro.experiments.store import CellKey, cell_key
 from repro.sim.cluster import ClusterModel, ResourcePool
 from repro.sim.job import Job
 from repro.sim.schedule import ScheduleResult
@@ -87,10 +86,26 @@ class ExperimentRun:
     result: ScheduleResult
     metrics: MetricReport
     overhead: Optional[OverheadSummary]
+    #: Arrival process the workload was generated with; part of the
+    #: cell identity (a "zero" run is a different experiment than a
+    #: "scenario" run of the same seed).
+    arrival_mode: str = "scenario"
 
     @property
     def values(self) -> dict[str, float]:
         return self.metrics.as_dict()
+
+    @property
+    def key(self) -> CellKey:
+        """Cell identity, shared with ``StoredRun``/``MatrixCell``."""
+        return cell_key(
+            self.scenario,
+            self.n_jobs,
+            self.scheduler,
+            self.workload_seed,
+            self.scheduler_seed,
+            self.arrival_mode,
+        )
 
 
 def run_single(
@@ -103,6 +118,9 @@ def run_single(
     arrival_mode: ArrivalMode = "scenario",
     jobs: Optional[Sequence[Job]] = None,
     cluster: Optional[ClusterModel] = None,
+    max_retries: int = 3,
+    max_decisions: Optional[int] = None,
+    enforce_walltime: bool = False,
     verify: bool = True,
 ) -> ExperimentRun:
     """Simulate one scenario instance under one scheduler.
@@ -115,6 +133,9 @@ def run_single(
     cluster:
         Cluster model override (defaults to the paper's 256/2048
         partition).
+    max_retries / max_decisions / enforce_walltime:
+        Forwarded to :class:`HPCSimulator` (retry tolerance, decision
+        budget, walltime-kill semantics).
     verify:
         Re-verify the capacity invariant on the finished schedule.
     """
@@ -129,6 +150,9 @@ def run_single(
         jobs=job_list,
         scheduler=sched,
         cluster=cluster if cluster is not None else ResourcePool(),
+        max_retries=max_retries,
+        max_decisions=max_decisions,
+        enforce_walltime=enforce_walltime,
     )
     result = sim.run()
     if verify:
@@ -142,6 +166,7 @@ def run_single(
         result=result,
         metrics=compute_metrics(result),
         overhead=OverheadSummary.from_result(result),
+        arrival_mode=arrival_mode,
     )
 
 
@@ -174,6 +199,7 @@ def run_matrix(
                         scheduler,
                         workload_seed=workload_seed,
                         scheduler_seed=scheduler_seed,
+                        arrival_mode=arrival_mode,
                         jobs=jobs,
                     )
                 )

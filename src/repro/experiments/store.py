@@ -1,0 +1,292 @@
+"""Resumable JSONL artifact store for experiment runs.
+
+Large sweeps (scenarios × sizes × schedulers × seeds) stream each
+completed :class:`~repro.experiments.runner.ExperimentRun` to disk as
+one schema-versioned JSON line the moment it finishes, so a killed or
+crashed sweep loses at most the cells in flight. On restart the engine
+asks the store which cells are already persisted and skips them.
+
+What is persisted is the *measurement*, not the full simulation: the
+eight §3.2 metrics, the LLM overhead summary (§3.7 accounting) and a
+decision summary (action counts by kind / acceptance). Full
+:class:`~repro.sim.schedule.ScheduleResult` objects stay in memory
+only — they are large and re-derivable from the (scenario, seed) cell.
+
+Layout: one JSONL file, one line per cell, append-only. A truncated
+final line (interrupted write) is tolerated on load; corruption
+anywhere else raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentRun
+
+#: Bump when the serialized shape changes incompatibly. Loaders accept
+#: any version up to the current one (older lines keep their shape).
+SCHEMA_VERSION = 1
+
+#: Identity of one matrix cell: (scenario, n_jobs, scheduler,
+#: workload_seed, scheduler_seed, arrival_mode). arrival_mode is part
+#: of the identity because the same (scenario, seed) generates a
+#: different workload under "zero" arrivals — resume must not treat
+#: one mode's runs as covering the other.
+CellKey = tuple[str, int, str, int, int, str]
+
+
+def cell_key(
+    scenario: str,
+    n_jobs: int,
+    scheduler: str,
+    workload_seed: int,
+    scheduler_seed: int,
+    arrival_mode: str = "scenario",
+) -> CellKey:
+    """Canonical dictionary/set key for one experiment cell."""
+    return (scenario, int(n_jobs), scheduler, int(workload_seed),
+            int(scheduler_seed), str(arrival_mode))
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One persisted experiment cell: identity + measurements.
+
+    Mirrors the measurement surface of
+    :class:`~repro.experiments.runner.ExperimentRun` (``values`` /
+    ``metrics``) so reporting code can consume either interchangeably.
+    """
+
+    scenario: str
+    n_jobs: int
+    scheduler: str
+    workload_seed: int
+    scheduler_seed: int
+    #: The eight §3.2 objective values, by canonical metric name.
+    metrics: dict[str, float]
+    arrival_mode: str = "scenario"
+    #: Action counts: n_decisions / n_accepted / n_rejected plus a
+    #: per-kind breakdown (``by_kind``) over accepted actions.
+    decision_summary: dict[str, Any] = field(default_factory=dict)
+    #: Flattened ``OverheadSummary`` for LLM schedulers, else ``None``.
+    overhead: Optional[dict[str, Any]] = None
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def key(self) -> CellKey:
+        return cell_key(
+            self.scenario,
+            self.n_jobs,
+            self.scheduler,
+            self.workload_seed,
+            self.scheduler_seed,
+            self.arrival_mode,
+        )
+
+    @property
+    def values(self) -> dict[str, float]:
+        """Metric dict, same accessor :class:`ExperimentRun` exposes."""
+        return dict(self.metrics)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_run(cls, run: "ExperimentRun") -> "StoredRun":
+        """Summarize a finished :class:`ExperimentRun` for persistence."""
+        by_kind = Counter(
+            d.action.kind.value for d in run.result.decisions if d.accepted
+        )
+        summary: dict[str, Any] = {
+            "n_decisions": len(run.result.decisions),
+            "n_accepted": sum(1 for d in run.result.decisions if d.accepted),
+            "n_rejected": sum(
+                1 for d in run.result.decisions if not d.accepted
+            ),
+            "by_kind": dict(sorted(by_kind.items())),
+        }
+        overhead: Optional[dict[str, Any]] = None
+        if run.overhead is not None:
+            overhead = {
+                "model": run.overhead.model,
+                "elapsed_s": run.overhead.elapsed_s,
+                "n_calls": run.overhead.n_calls,
+                "n_accepted_placements": run.overhead.n_accepted_placements,
+                "n_rejected": run.overhead.n_rejected,
+                "latency": asdict(run.overhead.latency),
+            }
+        return cls(
+            scenario=run.scenario,
+            n_jobs=run.n_jobs,
+            scheduler=run.scheduler,
+            workload_seed=run.workload_seed,
+            scheduler_seed=run.scheduler_seed,
+            arrival_mode=run.arrival_mode,
+            metrics=dict(run.metrics.as_dict()),
+            decision_summary=summary,
+            overhead=overhead,
+        )
+
+    # -- (de)serialization ----------------------------------------------
+    def to_json(self) -> str:
+        """One compact JSON line (no newline)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "StoredRun":
+        """Parse one store line; raises ``ValueError`` on bad input."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed store line: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("store line is not a JSON object")
+        version = payload.get("schema_version", 0)
+        if not isinstance(version, int) or version < 1:
+            raise ValueError(f"missing/invalid schema_version: {version!r}")
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"store line has schema_version {version}, newer than "
+                f"supported {SCHEMA_VERSION}; upgrade the code to read it"
+            )
+        try:
+            return cls(
+                scenario=str(payload["scenario"]),
+                n_jobs=int(payload["n_jobs"]),
+                scheduler=str(payload["scheduler"]),
+                workload_seed=int(payload["workload_seed"]),
+                scheduler_seed=int(payload["scheduler_seed"]),
+                metrics={
+                    str(k): float(v) for k, v in payload["metrics"].items()
+                },
+                arrival_mode=str(payload.get("arrival_mode", "scenario")),
+                decision_summary=dict(payload.get("decision_summary", {})),
+                overhead=payload.get("overhead"),
+                schema_version=version,
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(f"store line missing field: {exc}") from exc
+
+
+class RunStore:
+    """Append-only JSONL store of :class:`StoredRun` lines.
+
+    The file is created lazily on first append; a missing file reads as
+    an empty store, which makes ``--resume`` on a fresh path a no-op
+    rather than an error.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    # -- writing ---------------------------------------------------------
+    def _repair_tail(self) -> None:
+        """Fix a final line left without its newline by a killed write.
+
+        A parseable tail lost only the ``\\n`` — it is a complete run
+        (``load`` already counts it), so the newline is restored. An
+        unparseable tail is a genuinely partial write and is truncated
+        away; without that, the next append would glue its JSON onto
+        the fragment, turning a tolerated truncated tail into interior
+        corruption that poisons every later ``load``. Costs two seeks
+        and one byte read when the file is healthy.
+        """
+        if not self.path.exists():
+            return
+        with self.path.open("r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size == 0:
+                return
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return
+            # Scan backwards for the last newline, chunk at a time.
+            last_nl = -1
+            pos = size
+            while pos > 0 and last_nl < 0:
+                start = max(0, pos - 65536)
+                fh.seek(start)
+                idx = fh.read(pos - start).rfind(b"\n")
+                if idx >= 0:
+                    last_nl = start + idx
+                pos = start
+            fh.seek(last_nl + 1)
+            tail = fh.read().decode("utf-8", errors="replace")
+            try:
+                StoredRun.from_json(tail)
+            except ValueError:
+                fh.truncate(last_nl + 1 if last_nl >= 0 else 0)
+            else:
+                fh.seek(0, os.SEEK_END)
+                fh.write(b"\n")
+
+    def append(self, run: Union[StoredRun, "ExperimentRun"]) -> StoredRun:
+        """Persist one run (coercing :class:`ExperimentRun`) and return
+        the stored form. Each line is flushed to the OS immediately so
+        a crash loses at most the line being written."""
+        stored = run if isinstance(run, StoredRun) else StoredRun.from_run(run)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_tail()
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(stored.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return stored
+
+    # -- reading ---------------------------------------------------------
+    def _iter_lines(self) -> Iterator[tuple[int, str, bool]]:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        for i, line in enumerate(lines):
+            if line.strip():
+                yield i, line, i == len(lines) - 1
+
+    def load(self) -> list[StoredRun]:
+        """All persisted runs, in first-appearance order, with the
+        *last* write per cell winning — re-running a sweep into the
+        same store (e.g. after a code change) supersedes the old
+        lines, so ``report`` shows what ``matrix`` just computed.
+
+        An unparseable final line is dropped only when it also lacks
+        its trailing newline — the actual signature of a run killed
+        mid-write (the cell simply re-runs on resume). Anything else
+        (interior corruption, or a complete line a newer code version
+        wrote) raises ``ValueError`` with the parse failure chained.
+        """
+        order: dict[CellKey, int] = {}
+        runs: list[StoredRun] = []
+        for lineno, line, is_last in self._iter_lines():
+            try:
+                stored = StoredRun.from_json(line)
+            except ValueError as exc:
+                if is_last and not line.endswith("\n"):
+                    break
+                raise ValueError(
+                    f"{self.path}:{lineno + 1}: corrupt store line"
+                ) from exc
+            if stored.key in order:
+                runs[order[stored.key]] = stored
+            else:
+                order[stored.key] = len(runs)
+                runs.append(stored)
+        return runs
+
+    def completed_keys(self) -> set[CellKey]:
+        """Cell keys already persisted (what ``--resume`` skips)."""
+        return {run.key for run in self.load()}
+
+    def __contains__(self, key: CellKey) -> bool:
+        """Membership convenience; re-parses the file each call — when
+        checking many keys, snapshot :meth:`completed_keys` once."""
+        return key in self.completed_keys()
+
+    def __len__(self) -> int:
+        """Cell count; re-parses the file each call."""
+        return len(self.load())

@@ -8,8 +8,6 @@ with different structural behaviour.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.schedulers.base import BaseScheduler

@@ -11,14 +11,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import Optional
 
 from repro.sim.actions import Action, ActionKind
 from repro.sim.cluster import ClusterModel
 from repro.sim.job import Job
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.simulator import SystemView
 
 
 class ViolationKind(enum.Enum):

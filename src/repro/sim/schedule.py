@@ -13,7 +13,7 @@ layer consumes (guide idiom: vectorize the numeric hot path).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 

@@ -200,7 +200,16 @@ class HPCSimulator:
             events.push(Event(job.submit_time, EventKind.ARRIVAL, job.job_id))
 
         queued: dict[int, Job] = {}
+        #: Queue in arrival/unblock order. Placed jobs leave ``queued``
+        #: but their ids linger here until the lazy compaction below,
+        #: keeping removal O(1) and iteration amortized O(queue size).
         queue_order: list[int] = []
+        #: Submit times in arrival order (``self.jobs`` is sorted by
+        #: (submit_time, job_id)); arrivals pop from the event heap in
+        #: exactly this order, so the next un-arrived job's submit time
+        #: is ``arrival_times[n_jobs - pending_arrivals]`` — an O(1)
+        #: lookup replacing a full scan over every job per decision.
+        arrival_times: list[float] = [j.submit_time for j in self.jobs]
         running: dict[int, RunningJob] = {}
         records: list[JobRecord] = []
         decisions: list[DecisionRecord] = []
@@ -266,19 +275,12 @@ class HPCSimulator:
         def build_view() -> SystemView:
             next_arrival: Optional[float] = None
             next_completion: Optional[float] = None
-            # Scan the heap head only: peek gives earliest of either kind;
-            # derive the per-kind next times from state instead.
             if pending_arrivals:
-                next_arrival = min(
-                    jobs_by_id[jid].submit_time
-                    for jid in jobs_by_id
-                    if jid not in queued
-                    and jid not in running
-                    and jid not in blocked
-                    and jid not in completed_set
-                )
+                next_arrival = arrival_times[len(arrival_times) - pending_arrivals]
             if running:
                 next_completion = min(r.expected_end for r in running.values())
+            if len(queue_order) > 2 * len(queued) + 8:
+                queue_order[:] = [jid for jid in queue_order if jid in queued]
             ordered_queue = tuple(queued[jid] for jid in queue_order if jid in queued)
             return SystemView(
                 now=now,
@@ -435,6 +437,8 @@ def simulate(
     *,
     cluster: Optional[ClusterModel] = None,
     max_retries: int = 3,
+    max_decisions: Optional[int] = None,
+    enforce_walltime: bool = False,
 ) -> ScheduleResult:
     """One-call convenience wrapper around :class:`HPCSimulator`."""
     sim = HPCSimulator(
@@ -442,5 +446,7 @@ def simulate(
         scheduler=scheduler,
         cluster=cluster if cluster is not None else ResourcePool(),
         max_retries=max_retries,
+        max_decisions=max_decisions,
+        enforce_walltime=enforce_walltime,
     )
     return sim.run()

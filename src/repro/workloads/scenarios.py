@@ -24,7 +24,7 @@ and never emits a job that exceeds total capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

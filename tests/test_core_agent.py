@@ -1,6 +1,5 @@
 """Integration tests for the ReAct scheduling agent (Algorithm 1)."""
 
-import pytest
 
 from repro.core.agent import ReActSchedulingAgent, create_llm_scheduler
 from repro.core.backends import ScriptedBackend

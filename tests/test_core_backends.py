@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.backends import (
-    LLMCallRecord,
     ScriptedBackend,
     SimulatedReasoningBackend,
     make_call_record,

@@ -1,6 +1,5 @@
 """Unit tests for natural-language feedback rendering."""
 
-import pytest
 
 from repro.core.constraints import render_feedback, render_parse_feedback
 from repro.core.grammar import ActionParseError

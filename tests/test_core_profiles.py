@@ -8,7 +8,6 @@ from repro.core.profiles import (
     MODEL_PROFILES,
     O4_MINI_SIM,
     LatencyModel,
-    ModelProfile,
     PolicyWeights,
     get_profile,
 )

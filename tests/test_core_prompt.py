@@ -1,6 +1,5 @@
 """Unit tests for prompt construction."""
 
-import pytest
 
 from repro.core.prompt import PromptBuilder, estimate_tokens
 from repro.core.scratchpad import Scratchpad

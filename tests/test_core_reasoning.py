@@ -1,9 +1,8 @@
 """Unit tests for the simulated reasoning policy."""
 
 import numpy as np
-import pytest
 
-from repro.core.profiles import CLAUDE_37_SIM, PolicyWeights
+from repro.core.profiles import CLAUDE_37_SIM
 from repro.core.prompt import PromptBuilder
 from repro.core.reasoning import ReasoningPolicy
 from repro.core.scratchpad import Scratchpad

@@ -7,7 +7,7 @@ from repro.schedulers.fcfs import FCFSScheduler
 from repro.schedulers.heuristics import FirstFitScheduler
 from repro.schedulers.registry import create_scheduler
 from repro.sim.job import Job, validate_dependencies
-from repro.sim.simulator import HPCSimulator, SimulationError
+from repro.sim.simulator import HPCSimulator
 from repro.workloads.dags import (
     chain_workload,
     critical_path_length,

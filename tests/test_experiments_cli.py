@@ -16,8 +16,18 @@ class TestParser:
             ["fig2"], ["fig3"], ["fig4"], ["fig5"], ["fig6"], ["fig7"],
             ["fig8"], ["list"],
             ["run", "--scenario", "adversarial", "--scheduler", "fcfs"],
+            ["matrix", "--scenarios", "adversarial", "--sizes", "10"],
+            ["report", "--store", "runs.jsonl"],
         ):
             assert parser.parse_args(argv).command == argv[0]
+
+    def test_run_walltime_flags_parse(self):
+        args = build_parser().parse_args([
+            "run", "--scenario", "adversarial", "--scheduler", "fcfs",
+            "--enforce-walltime", "--max-decisions", "500",
+        ])
+        assert args.enforce_walltime is True
+        assert args.max_decisions == 500
 
 
 class TestExecution:
@@ -56,6 +66,106 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "o4-mini-sim" in out
         assert "elapsed_s" in out
+
+    def test_run_with_enforce_walltime(self, capsys):
+        code = main([
+            "run", "--scenario", "resource_sparse", "--scheduler", "fcfs",
+            "-n", "6", "--enforce-walltime", "--max-decisions", "5000",
+        ])
+        assert code == 0
+        assert "resource_sparse" in capsys.readouterr().out
+
+    def test_matrix_and_report(self, capsys, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        code = main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "8",
+            "--schedulers", "fcfs", "sjf", "--seeds", "0", "1",
+            "--workers", "1", "--out", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "[4/4]" in text
+        assert "normalized to FCFS" in text
+        assert out.exists()
+
+        # Resume over the same matrix: nothing left to execute.
+        code = main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "8",
+            "--schedulers", "fcfs", "sjf", "--seeds", "0", "1",
+            "--workers", "2", "--out", str(out), "--resume",
+        ])
+        assert code == 0
+        assert "resumed: 4 cells already" in capsys.readouterr().out
+
+        code = main(["report", "--store", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "resource_sparse, 8 jobs, seed 0" in text
+        assert "resource_sparse, 8 jobs, seed 1" in text
+
+    def test_matrix_resume_requires_out(self, capsys):
+        code = main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "6",
+            "--schedulers", "fcfs", "--resume",
+        ])
+        assert code == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_matrix_interrupt_reports_persisted_cells(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        out = tmp_path / "runs.jsonl"
+        main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "8",
+            "--schedulers", "fcfs", "--workers", "1", "--out", str(out),
+        ])
+        capsys.readouterr()
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            "repro.experiments.cli.run_matrix_parallel", interrupted
+        )
+        code = main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "8",
+            "--schedulers", "fcfs", "sjf", "--workers", "1",
+            "--out", str(out), "--resume",
+        ])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted — 1 cells persisted" in err
+        assert "--resume" in err
+
+    def test_matrix_report_scopes_to_requested_cells(self, capsys, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        main([
+            "matrix", "--scenarios", "adversarial", "--sizes", "8",
+            "--schedulers", "fcfs", "--workers", "1", "--out", str(out),
+        ])
+        capsys.readouterr()
+        # Second sweep shares the store file; its report covers only
+        # its own matrix, not the earlier adversarial cells.
+        main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "8",
+            "--schedulers", "fcfs", "--workers", "1", "--out", str(out),
+        ])
+        text = capsys.readouterr().out
+        assert "resource_sparse, 8 jobs" in text
+        assert "adversarial" not in text
+
+    def test_matrix_without_store(self, capsys):
+        code = main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "6",
+            "--schedulers", "fcfs", "--workers", "1",
+        ])
+        assert code == 0
+        assert "normalized to FCFS" in capsys.readouterr().out
+
+    def test_report_missing_store(self, tmp_path, capsys):
+        code = main(["report", "--store", str(tmp_path / "none.jsonl")])
+        assert code == 1
+        assert "no runs" in capsys.readouterr().err
 
     def test_compare_command(self, capsys):
         code = main([

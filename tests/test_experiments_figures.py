@@ -49,6 +49,57 @@ class TestFigure3:
                 assert set(metrics) == set(METRIC_NAMES)
 
 
+class TestMatrixBlocks:
+    def test_blocks_from_stored_runs(self):
+        from repro.experiments.parallel import run_matrix_parallel
+        from repro.experiments.store import StoredRun
+
+        runs = run_matrix_parallel(
+            ("resource_sparse",), (8,), SMALL_SCHEDULERS, workers=1
+        )
+        stored = [StoredRun.from_run(r) for r in runs]
+        blocks = figures.matrix_blocks(stored)
+        assert set(blocks) == {("resource_sparse", 8, 0, "scenario")}
+        block = blocks[("resource_sparse", 8, 0, "scenario")]
+        assert list(block)[0] == "fcfs"  # baseline renders first
+        assert set(block) == set(SMALL_SCHEDULERS)
+        for value in block["fcfs"].values():
+            assert value == pytest.approx(1.0) or math.isnan(value)
+
+    def test_averages_over_scheduler_seeds(self):
+        from repro.experiments.store import StoredRun
+
+        def stored(seed, makespan):
+            return StoredRun(
+                scenario="s", n_jobs=4, scheduler="x",
+                workload_seed=0, scheduler_seed=seed,
+                metrics={"makespan": makespan},
+            )
+
+        blocks = figures.matrix_blocks([stored(0, 100.0), stored(1, 200.0)])
+        # No fcfs baseline in the group: raw (averaged) values.
+        key = ("s", 4, 0, "scenario")
+        assert blocks[key]["x"]["makespan"] == pytest.approx(150.0)
+
+    def test_arrival_modes_are_separate_instances(self):
+        from repro.experiments.store import StoredRun
+
+        def stored(mode, makespan):
+            return StoredRun(
+                scenario="s", n_jobs=4, scheduler="x",
+                workload_seed=0, scheduler_seed=0,
+                metrics={"makespan": makespan}, arrival_mode=mode,
+            )
+
+        blocks = figures.matrix_blocks(
+            [stored("scenario", 100.0), stored("zero", 300.0)]
+        )
+        # Different arrival processes are different experiments: no
+        # cross-mode averaging.
+        assert blocks[("s", 4, 0, "scenario")]["x"]["makespan"] == 100.0
+        assert blocks[("s", 4, 0, "zero")]["x"]["makespan"] == 300.0
+
+
 class TestFigure4:
     def test_sizes_covered(self):
         data = figures.figure4(sizes=[5, 10], schedulers=SMALL_SCHEDULERS)

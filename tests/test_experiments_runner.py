@@ -54,6 +54,35 @@ class TestRunSingle:
         arrays = run.result.to_arrays()
         assert (arrays["submit"] == 0.0).all()
 
+    def test_enforce_walltime_reaches_simulator(self):
+        from tests.conftest import make_job
+
+        jobs = [make_job(1, duration=100.0, walltime=30.0)]
+        lenient = run_single("adversarial", 1, "fcfs", jobs=jobs)
+        strict = run_single(
+            "adversarial", 1, "fcfs", jobs=jobs, enforce_walltime=True
+        )
+        assert not lenient.result.record_for(1).killed
+        rec = strict.result.record_for(1)
+        assert rec.killed
+        assert rec.end_time == 30.0
+
+    def test_arrival_mode_label_forwarded(self):
+        run = run_single(
+            "adversarial", 5, "fcfs", arrival_mode="zero"
+        )
+        assert run.arrival_mode == "zero"
+        matrix = run_matrix(
+            ["adversarial"], [5], ["fcfs"], arrival_mode="zero"
+        )
+        assert matrix[0].arrival_mode == "zero"
+
+    def test_max_decisions_reaches_simulator(self):
+        from repro.sim.simulator import SimulationError
+
+        with pytest.raises(SimulationError, match="decision budget"):
+            run_single("adversarial", 8, "fcfs", max_decisions=2)
+
 
 class TestRunMatrix:
     def test_shape(self):

@@ -1,0 +1,194 @@
+"""Tests for the JSONL experiment artifact store."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_single
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    RunStore,
+    StoredRun,
+    cell_key,
+)
+
+
+def make_stored(**overrides) -> StoredRun:
+    base = dict(
+        scenario="adversarial",
+        n_jobs=10,
+        scheduler="fcfs",
+        workload_seed=0,
+        scheduler_seed=0,
+        metrics={"makespan": 100.0, "avg_wait_time": 3.5},
+        decision_summary={"n_decisions": 11, "n_accepted": 10,
+                          "n_rejected": 1, "by_kind": {"StartJob": 10}},
+        overhead=None,
+    )
+    base.update(overrides)
+    return StoredRun(**base)
+
+
+class TestStoredRun:
+    def test_json_round_trip(self):
+        stored = make_stored()
+        again = StoredRun.from_json(stored.to_json())
+        assert again == stored
+        assert again.key == cell_key("adversarial", 10, "fcfs", 0, 0)
+        assert again.schema_version == SCHEMA_VERSION
+
+    def test_round_trip_with_overhead(self):
+        stored = make_stored(
+            scheduler="claude-3.7-sim",
+            overhead={"model": "claude-3.7-sim", "elapsed_s": 42.0,
+                      "n_calls": 12, "latency": {"median_s": 3.5}},
+        )
+        assert StoredRun.from_json(stored.to_json()) == stored
+
+    def test_from_run_baseline(self):
+        run = run_single("resource_sparse", 6, "sjf", workload_seed=3)
+        stored = StoredRun.from_run(run)
+        assert stored.scenario == "resource_sparse"
+        assert stored.scheduler == "sjf"
+        assert stored.workload_seed == 3
+        assert stored.metrics == run.values
+        assert stored.overhead is None
+        summary = stored.decision_summary
+        assert summary["n_decisions"] == len(run.result.decisions)
+        assert summary["n_accepted"] + summary["n_rejected"] == (
+            summary["n_decisions"]
+        )
+        assert sum(summary["by_kind"].values()) == summary["n_accepted"]
+        # Still serializable after summarization.
+        assert StoredRun.from_json(stored.to_json()) == stored
+
+    def test_from_run_llm_overhead(self):
+        run = run_single("resource_sparse", 5, "claude-3.7-sim")
+        stored = StoredRun.from_run(run)
+        assert stored.overhead is not None
+        assert stored.overhead["model"] == "claude-3.7-sim"
+        assert stored.overhead["n_calls"] == run.overhead.n_calls
+        assert stored.overhead["latency"]["n_calls"] >= 0
+        assert StoredRun.from_json(stored.to_json()) == stored
+
+    def test_values_mirrors_experiment_run(self):
+        stored = make_stored()
+        assert stored.values == stored.metrics
+        assert stored.values is not stored.metrics  # defensive copy
+
+    def test_rejects_newer_schema(self):
+        payload = json.loads(make_stored().to_json())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            StoredRun.from_json(json.dumps(payload))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            StoredRun.from_json("{not json")
+        with pytest.raises(ValueError):
+            StoredRun.from_json('"a string"')
+        with pytest.raises(ValueError):
+            StoredRun.from_json('{"schema_version": 1}')
+
+
+class TestRunStore:
+    def test_missing_file_reads_empty(self, tmp_path):
+        store = RunStore(tmp_path / "none.jsonl")
+        assert store.load() == []
+        assert store.completed_keys() == set()
+        assert len(store) == 0
+
+    def test_append_and_load(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        a = make_stored(scheduler="fcfs")
+        b = make_stored(scheduler="sjf")
+        store.append(a)
+        store.append(b)
+        assert store.load() == [a, b]
+        assert store.completed_keys() == {a.key, b.key}
+        assert a.key in store
+
+    def test_append_coerces_experiment_run(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        run = run_single("adversarial", 6, "fcfs")
+        stored = store.append(run)
+        assert isinstance(stored, StoredRun)
+        assert store.load() == [stored]
+
+    def test_last_write_wins_on_duplicates(self, tmp_path):
+        # Re-running a sweep into the same store supersedes old lines.
+        store = RunStore(tmp_path / "runs.jsonl")
+        first = make_stored(metrics={"makespan": 1.0})
+        second = make_stored(metrics={"makespan": 2.0})
+        other = make_stored(scheduler="sjf")
+        store.append(first)
+        store.append(other)
+        store.append(second)
+        # Updated in place: first-appearance order, latest values.
+        assert store.load() == [second, other]
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        good = make_stored()
+        store.append(good)
+        with path.open("a") as fh:
+            fh.write('{"scenario": "adversarial", "n_jo')  # crash mid-write
+        assert store.load() == [good]
+        assert good.key in store.completed_keys()
+
+    def test_append_after_truncated_tail_repairs_store(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        first = make_stored(scheduler="fcfs")
+        store.append(first)
+        with path.open("a") as fh:
+            fh.write('{"scenario": "adversarial", "n_jo')  # crash mid-write
+        # The next append must not glue onto the partial line.
+        second = make_stored(scheduler="sjf")
+        store.append(second)
+        assert store.load() == [first, second]
+        # And later loads stay healthy (no interior corruption).
+        store.append(make_stored(scheduler="easy"))
+        assert len(store.load()) == 3
+
+    def test_append_preserves_complete_tail_missing_newline(self, tmp_path):
+        # A write killed between the JSON and its newline is a
+        # complete run: append must restore the newline, not drop it.
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        first = make_stored(scheduler="fcfs")
+        with path.open("w") as fh:
+            fh.write(first.to_json())  # no trailing newline
+        second = make_stored(scheduler="sjf")
+        store.append(second)
+        assert store.load() == [first, second]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.append(make_stored(scheduler="fcfs"))
+        with path.open("a") as fh:
+            fh.write("garbage\n")
+        store.append(make_stored(scheduler="sjf"))
+        with pytest.raises(ValueError, match="corrupt"):
+            store.load()
+
+    def test_complete_newer_schema_final_line_raises(self, tmp_path):
+        # A *complete* final line from a newer code version is not a
+        # truncated write: surface the upgrade error instead of
+        # silently reading the store as shorter than it is.
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.append(make_stored(scheduler="fcfs"))
+        payload = json.loads(make_stored(scheduler="sjf").to_json())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with path.open("a") as fh:
+            fh.write(json.dumps(payload) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            store.load()
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = RunStore(tmp_path / "deep" / "nested" / "runs.jsonl")
+        store.append(make_stored())
+        assert len(store) == 1

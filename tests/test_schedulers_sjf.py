@@ -1,6 +1,5 @@
 """Unit tests for Shortest Job First."""
 
-import pytest
 
 from repro.schedulers.sjf import SJFScheduler
 

@@ -1,6 +1,5 @@
 """Unit tests for the cluster resource models."""
 
-import numpy as np
 import pytest
 
 from repro.sim.cluster import AllocationError, NodeLevelCluster, ResourcePool

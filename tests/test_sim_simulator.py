@@ -287,6 +287,18 @@ class TestSimulateHelper:
         assert result.n_jobs == 0
         assert result.makespan == 0.0
 
+    def test_enforce_walltime_passthrough(self):
+        job = make_job(1, duration=100.0, walltime=40.0)
+        result = simulate([job], FCFSScheduler(), enforce_walltime=True)
+        rec = result.record_for(1)
+        assert rec.killed
+        assert rec.end_time == 40.0
+
+    def test_max_decisions_passthrough(self):
+        jobs = [make_job(i) for i in range(1, 6)]
+        with pytest.raises(SimulationError, match="decision budget"):
+            simulate(jobs, FCFSScheduler(), max_decisions=2)
+
 
 class TestDelayingScheduler:
     def test_initial_delays_shift_start(self):

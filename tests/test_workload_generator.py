@@ -1,6 +1,5 @@
 """Unit tests for workload generation."""
 
-import numpy as np
 import pytest
 
 from repro.workloads.generator import generate_workload, workload_heterogeneity

@@ -7,8 +7,6 @@ import pytest
 from repro.workloads.generator import generate_workload
 from repro.workloads.swf import jobs_from_swf, jobs_to_swf
 
-from tests.conftest import make_job
-
 
 def round_trip(jobs):
     buf = io.StringIO()
