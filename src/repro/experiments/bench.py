@@ -1,0 +1,448 @@
+"""Performance benchmark harness: ``repro-sched bench``.
+
+Emits a machine-readable ``BENCH_*.json`` tracking the perf trajectory
+of the three hot paths this project optimizes:
+
+* **replan_event** — wall-clock of one full annealing replanning event
+  at several queue sizes, measured twice per size: with the incremental
+  prefix-pack kernel and with the retained naive reference packer
+  (:mod:`repro.schedulers.packing_reference`). Both traversals follow
+  the identical seeded RNG trajectory, so the reported ``speedup`` is
+  an apples-to-apples before/after of the same search.
+* **decision_snapshot** — per-decision simulator overhead as jobs
+  complete. The workload uses spread arrivals so the queue stays small
+  while the completion log grows; a quadratic snapshot path shows up as
+  last-quartile decisions costing more than first-quartile ones
+  (``growth_ratio`` ≫ 1), a zero-copy path stays flat (≈ 1).
+* **per_decision** / **sweep** — end-to-end per-decision latency for
+  representative (scenario, scheduler) cells and total wall-clock of a
+  small serial matrix, the figure-sweep proxy.
+
+Regression tracking: :func:`compare_to_baseline` diffs a fresh report
+against a committed baseline (e.g. ``BENCH_PR2.json``) and returns the
+metrics that regressed beyond a threshold. CI runs this non-blocking
+(warning annotations only) because shared-runner timing jitters.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.experiments.runner import run_matrix, run_single
+from repro.schedulers.optimizer import AnnealingConfig, AnnealingOptimizer
+from repro.sim.simulator import RunningJob, SystemView
+from repro.workloads.generator import generate_workload
+
+SCHEMA_VERSION = 1
+
+#: Metrics where smaller is better, matched by key suffix.
+_LOWER_IS_BETTER_SUFFIXES = (
+    "_ms",
+    "_us",
+    "_s",
+    "us_per_decision",
+    "growth_ratio",
+)
+#: Metrics where larger is better.
+_HIGHER_IS_BETTER_SUFFIXES = ("speedup",)
+
+
+@dataclass
+class BenchConfig:
+    """Knobs for one bench invocation.
+
+    ``quick`` is the CI profile (< 1 min) and what the committed
+    ``BENCH_*.json`` baselines are generated from, so CI comparisons
+    are like-for-like; metric keys are qualified by their cell sizes,
+    so comparing reports of different profiles silently checks only
+    the cells both actually measured. The quick profile keeps the two
+    acceptance-tracking cells at full size: the 100-job replanning
+    event and the 2000-job snapshot-cost growth ratio (the latter
+    costs well under a second).
+    """
+
+    replan_sizes: tuple[int, ...] = (25, 50, 100)
+    replan_repeats: int = 3
+    replan_running: int = 12
+    snapshot_jobs: int = 2000
+    per_decision_cells: tuple[tuple[str, str, int], ...] = (
+        ("heterogeneous_mix", "fcfs", 400),
+        ("heterogeneous_mix", "fcfs_backfill", 400),
+        ("heterogeneous_mix", "ortools_like", 100),
+    )
+    sweep_scenarios: tuple[str, ...] = ("heterogeneous_mix", "adversarial")
+    sweep_sizes: tuple[int, ...] = (20, 40)
+    sweep_schedulers: tuple[str, ...] = ("fcfs", "sjf", "ortools_like")
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        return cls(
+            replan_sizes=(25, 100),
+            replan_repeats=2,
+            snapshot_jobs=2000,
+            per_decision_cells=(
+                ("heterogeneous_mix", "fcfs", 200),
+                ("heterogeneous_mix", "ortools_like", 60),
+            ),
+            sweep_sizes=(20,),
+        )
+
+
+# ---------------------------------------------------------------------------
+# replan_event: one annealing replanning event, incremental vs naive
+# ---------------------------------------------------------------------------
+
+def _replan_view(n_jobs: int, n_running: int, seed: int) -> SystemView:
+    """A synthetic decision point: *n_jobs* queued now, *n_running*
+    jobs already holding resources with staggered expected releases."""
+    jobs = generate_workload(
+        "heterogeneous_mix", n_jobs + n_running, seed=seed,
+        arrival_mode="zero",
+    )
+    queued = tuple(jobs[:n_jobs])
+    running = tuple(
+        RunningJob(job, start_time=-10.0 * (i + 1))
+        for i, job in enumerate(jobs[n_jobs:])
+    )
+    used_nodes = sum(r.job.nodes for r in running)
+    used_mem = sum(r.job.memory_gb for r in running)
+    total_nodes, total_mem = 256, 2048.0
+    return SystemView(
+        now=0.0,
+        queued=queued,
+        running=running,
+        completed_ids=(),
+        free_nodes=max(total_nodes - used_nodes, 1),
+        free_memory_gb=max(total_mem - used_mem, 1.0),
+        total_nodes=total_nodes,
+        total_memory_gb=total_mem,
+        pending_arrivals=0,
+        next_arrival_time=None,
+        next_completion_time=min(r.expected_end for r in running)
+        if running
+        else None,
+    )
+
+
+def _time_replan(view: SystemView, *, use_incremental: bool, seed: int) -> float:
+    sched = AnnealingOptimizer(
+        seed=seed,
+        config=AnnealingConfig(),
+        use_incremental=use_incremental,
+    )
+    sched.reset()
+    t0 = time.perf_counter()
+    sched._replan(view)
+    return time.perf_counter() - t0
+
+
+def bench_replan_event(cfg: BenchConfig) -> list[dict[str, Any]]:
+    rows = []
+    for n in cfg.replan_sizes:
+        view = _replan_view(n, cfg.replan_running, cfg.seed)
+        inc = min(
+            _time_replan(view, use_incremental=True, seed=cfg.seed)
+            for _ in range(cfg.replan_repeats)
+        )
+        naive = min(
+            _time_replan(view, use_incremental=False, seed=cfg.seed)
+            for _ in range(cfg.replan_repeats)
+        )
+        rows.append(
+            {
+                "queue_size": n,
+                "incremental_ms": round(inc * 1e3, 3),
+                "naive_ms": round(naive * 1e3, 3),
+                "speedup": round(naive / inc, 2) if inc > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# decision_snapshot: per-decision overhead vs completed-job count
+# ---------------------------------------------------------------------------
+
+class _TimestampingScheduler:
+    """Wraps a scheduler, recording (completed_count, perf_counter) at
+    every decide() — the deltas measure the full simulator decision
+    loop including snapshot construction."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.name = inner.name
+        self.samples: list[tuple[int, float]] = []
+
+    def reset(self) -> None:
+        self._inner.reset()
+        self.samples = []
+
+    def decide(self, view):
+        self.samples.append((len(view.completed_ids), time.perf_counter()))
+        return self._inner.decide(view)
+
+    def on_rejection(self, action, violations, view) -> None:
+        self._inner.on_rejection(action, violations, view)
+
+    def decision_meta(self) -> dict[str, Any]:
+        return self._inner.decision_meta()
+
+
+def bench_decision_snapshot(cfg: BenchConfig) -> dict[str, Any]:
+    from repro.schedulers.fcfs import FCFSScheduler
+    from repro.sim.simulator import HPCSimulator
+
+    jobs = generate_workload(
+        "heterogeneous_mix", cfg.snapshot_jobs, seed=cfg.seed,
+        arrival_mode="scenario",
+    )
+    sched = _TimestampingScheduler(FCFSScheduler())
+    sim = HPCSimulator(jobs=jobs, scheduler=sched)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+
+    samples = sched.samples
+    deltas = [
+        (samples[i][0], samples[i + 1][1] - samples[i][1])
+        for i in range(len(samples) - 1)
+    ]
+    max_completed = max((c for c, _ in deltas), default=1) or 1
+    first = [d for c, d in deltas if c <= max_completed * 0.25]
+    last = [d for c, d in deltas if c >= max_completed * 0.75]
+
+    def _mean_us(xs: list[float]) -> float:
+        return sum(xs) / len(xs) * 1e6 if xs else 0.0
+
+    first_us, last_us = _mean_us(first), _mean_us(last)
+    return {
+        "n_jobs": cfg.snapshot_jobs,
+        "decisions": len(samples),
+        "wall_s": round(wall, 3),
+        "us_per_decision": round(wall / max(len(samples), 1) * 1e6, 2),
+        "first_quartile_us": round(first_us, 2),
+        "last_quartile_us": round(last_us, 2),
+        "growth_ratio": round(last_us / first_us, 3) if first_us else 1.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# per_decision / sweep: end-to-end latencies
+# ---------------------------------------------------------------------------
+
+def bench_per_decision(cfg: BenchConfig) -> list[dict[str, Any]]:
+    rows = []
+    for scenario, scheduler, n_jobs in cfg.per_decision_cells:
+        t0 = time.perf_counter()
+        run = run_single(
+            scenario, n_jobs, scheduler,
+            workload_seed=cfg.seed, scheduler_seed=cfg.seed,
+        )
+        wall = time.perf_counter() - t0
+        decisions = len(run.result.decisions)
+        rows.append(
+            {
+                "scenario": scenario,
+                "scheduler": scheduler,
+                "n_jobs": n_jobs,
+                "decisions": decisions,
+                "wall_s": round(wall, 3),
+                "us_per_decision": round(
+                    wall / max(decisions, 1) * 1e6, 2
+                ),
+            }
+        )
+    return rows
+
+
+def bench_sweep(cfg: BenchConfig) -> dict[str, Any]:
+    t0 = time.perf_counter()
+    runs = run_matrix(
+        cfg.sweep_scenarios,
+        cfg.sweep_sizes,
+        cfg.sweep_schedulers,
+        workload_seed=cfg.seed,
+        scheduler_seed=cfg.seed,
+    )
+    wall = time.perf_counter() - t0
+    return {"cells": len(runs), "wall_s": round(wall, 3)}
+
+
+# ---------------------------------------------------------------------------
+# report assembly / comparison
+# ---------------------------------------------------------------------------
+
+def run_bench(
+    cfg: Optional[BenchConfig] = None,
+    *,
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, Any]:
+    """Run every bench section and assemble the JSON report."""
+    cfg = cfg or (BenchConfig.quick() if quick else BenchConfig())
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    note("replan_event: incremental vs naive replanning …")
+    replan = bench_replan_event(cfg)
+    note("decision_snapshot: per-decision cost vs completed jobs …")
+    snapshot = bench_decision_snapshot(cfg)
+    note("per_decision: end-to-end decision latencies …")
+    per_decision = bench_per_decision(cfg)
+    note("sweep: serial mini-matrix wall clock …")
+    sweep = bench_sweep(cfg)
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "metrics": {
+            "replan_event": replan,
+            "decision_snapshot": snapshot,
+            "per_decision": per_decision,
+            "sweep": sweep,
+        },
+    }
+
+
+def _flatten(report: dict[str, Any]) -> dict[str, float]:
+    """Flatten a report's numeric metrics to dotted-path keys."""
+    flat: dict[str, float] = {}
+    metrics = report.get("metrics", {})
+    for row in metrics.get("replan_event", ()):
+        base = f"replan_event[{row['queue_size']}]"
+        for key in ("incremental_ms", "naive_ms", "speedup"):
+            if key in row:
+                flat[f"{base}.{key}"] = float(row[key])
+    snap = metrics.get("decision_snapshot", {})
+    for key in ("us_per_decision", "growth_ratio"):
+        if key in snap:
+            # Qualified by workload size so a quick-profile run is
+            # never compared against a full-profile baseline cell.
+            flat[f"decision_snapshot[{snap.get('n_jobs')}].{key}"] = float(
+                snap[key]
+            )
+    for row in metrics.get("per_decision", ()):
+        base = (
+            f"per_decision[{row['scenario']}/{row['scheduler']}"
+            f"/{row['n_jobs']}]"
+        )
+        flat[f"{base}.us_per_decision"] = float(row["us_per_decision"])
+    sweep = metrics.get("sweep", {})
+    if "wall_s" in sweep:
+        flat[f"sweep[{sweep.get('cells')}].wall_s"] = float(sweep["wall_s"])
+    return flat
+
+
+@dataclass
+class Regression:
+    """One metric that moved the wrong way past the threshold."""
+
+    metric: str
+    baseline: float
+    current: float
+    change: float  # relative, positive = worse
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric}: {self.baseline:g} -> {self.current:g} "
+            f"({self.change * 100:+.0f}% worse)"
+        )
+
+
+def compare_to_baseline(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    threshold: float = 0.25,
+) -> list[Regression]:
+    """Metrics that regressed more than *threshold* vs *baseline*.
+
+    Only metric keys present in both reports are compared, so config
+    reshapes (new sizes, new cells) do not fabricate regressions.
+    """
+    cur, base = _flatten(current), _flatten(baseline)
+    regressions: list[Regression] = []
+    for key in sorted(set(cur) & set(base)):
+        b, c = base[key], cur[key]
+        if b <= 0:
+            continue
+        if key.endswith(_HIGHER_IS_BETTER_SUFFIXES):
+            change = (b - c) / b
+        elif key.endswith(_LOWER_IS_BETTER_SUFFIXES):
+            change = (c - b) / b
+        else:  # pragma: no cover - every emitted key matches a suffix
+            continue
+        if change > threshold:
+            regressions.append(
+                Regression(metric=key, baseline=b, current=c, change=change)
+            )
+    return regressions
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of one bench report."""
+    m = report["metrics"]
+    lines = [
+        f"== bench (schema {report['schema']}, "
+        f"{'quick' if report.get('quick') else 'full'}, "
+        f"py {report.get('python', '?')})",
+        "",
+        "replanning event (annealer, one decision point):",
+        "  queue   incremental      naive    speedup",
+    ]
+    for row in m["replan_event"]:
+        lines.append(
+            f"  {row['queue_size']:>5d}   {row['incremental_ms']:>8.2f}ms"
+            f"   {row['naive_ms']:>8.2f}ms   {row['speedup']:>6.2f}x"
+        )
+    snap = m["decision_snapshot"]
+    lines += [
+        "",
+        f"decision snapshots ({snap['n_jobs']} jobs, "
+        f"{snap['decisions']} decisions):",
+        f"  {snap['us_per_decision']:.1f} us/decision overall; "
+        f"first-quartile {snap['first_quartile_us']:.1f} us vs "
+        f"last-quartile {snap['last_quartile_us']:.1f} us "
+        f"(growth x{snap['growth_ratio']:.2f})",
+        "",
+        "end-to-end per-decision latency:",
+    ]
+    for row in m["per_decision"]:
+        lines.append(
+            f"  {row['scenario']}/{row['scheduler']} n={row['n_jobs']}: "
+            f"{row['us_per_decision']:.1f} us/decision "
+            f"({row['decisions']} decisions, {row['wall_s']:.2f}s)"
+        )
+    sweep = m["sweep"]
+    lines += [
+        "",
+        f"serial sweep: {sweep['cells']} cells in {sweep['wall_s']:.2f}s",
+    ]
+    return "\n".join(lines)
+
+
+def load_report(path: str) -> dict[str, Any]:
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: bench schema {report.get('schema')!r} != "
+            f"{SCHEMA_VERSION} (regenerate the baseline)"
+        )
+    return report
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")

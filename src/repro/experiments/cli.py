@@ -154,6 +154,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--store", required=True, help="path written by matrix --out")
 
+    pb = sub.add_parser(
+        "bench",
+        help="performance benchmarks (replanning, decision snapshots)",
+        description=(
+            "Measure the scheduling hot paths and emit a machine-"
+            "readable report: replanning-event latency (incremental "
+            "vs naive packer), per-decision snapshot cost vs "
+            "completed-job count, end-to-end decision latency, and "
+            "serial sweep wall-clock. With --baseline, metrics that "
+            "regressed more than --threshold are reported as warnings "
+            "(exit status stays 0 — timing is advisory)."
+        ),
+    )
+    pb.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes/repeats (the CI profile)",
+    )
+    pb.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable report here (e.g. BENCH_PR2.json)",
+    )
+    pb.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="committed BENCH_*.json to diff against",
+    )
+    pb.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative regression tolerance vs --baseline (default 0.25)",
+    )
+
     pc = sub.add_parser(
         "compare",
         help="paired cross-seed comparison of two schedulers (Wilcoxon)",
@@ -317,6 +354,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 if s.key in wanted and s.key not in fresh
             ]
         print(report.render_matrix_blocks(figures.matrix_blocks(source)))
+        return 0
+
+    if args.command == "bench":
+        import os
+
+        from repro.experiments import bench
+
+        report_dict = bench.run_bench(
+            quick=args.quick,
+            progress=lambda msg: print(f"... {msg}", file=sys.stderr),
+        )
+        print(bench.render_report(report_dict))
+        if args.json:
+            bench.write_report(report_dict, args.json)
+            print(f"\nwrote {args.json}", file=sys.stderr)
+        if args.baseline:
+            baseline = bench.load_report(args.baseline)
+            regressions = bench.compare_to_baseline(
+                report_dict, baseline, threshold=args.threshold
+            )
+            gha = bool(os.environ.get("GITHUB_ACTIONS"))
+            if regressions:
+                print(
+                    f"\n{len(regressions)} metric(s) regressed "
+                    f">{args.threshold * 100:.0f}% vs {args.baseline}:"
+                )
+                for reg in regressions:
+                    line = reg.describe()
+                    print(f"  WARNING: {line}")
+                    if gha:
+                        print(f"::warning title=bench regression::{line}")
+            else:
+                print(
+                    f"\nno regressions >{args.threshold * 100:.0f}% "
+                    f"vs {args.baseline}"
+                )
         return 0
 
     if args.command == "report":

@@ -16,6 +16,8 @@ cannot push that reservation back.
 
 from __future__ import annotations
 
+from itertools import islice
+
 from repro.schedulers.base import BaseScheduler
 from repro.sim.actions import Action, BackfillJob, Delay, StartJob
 from repro.sim.job import Job
@@ -87,7 +89,9 @@ class EasyBackfillScheduler(BaseScheduler):
         shadow, extra_nodes, extra_mem = head_reservation(
             head, view.running, view
         )
-        for job in view.queued[1:]:
+        # islice avoids copying the (possibly long) queue tuple per
+        # decision just to skip the head.
+        for job in islice(view.queued, 1, None):
             if not view.can_fit(job):
                 continue
             ends_before_shadow = view.now + job.walltime <= shadow + 1e-9

@@ -25,8 +25,12 @@ class FirstFitScheduler(BaseScheduler):
     name = "first_fit"
 
     def decide(self, view: SystemView) -> Action:
+        # Inlined can_fit with hoisted capacity locals: this scan runs
+        # once per decision over the whole queue.
+        free_nodes = view.free_nodes
+        free_mem = view.free_memory_gb + 1e-9
         for job in view.queued:
-            if view.can_fit(job):
+            if job.nodes <= free_nodes and job.memory_gb <= free_mem:
                 return StartJob(job.job_id)
         return Delay
 
@@ -42,10 +46,19 @@ class LargestFirstScheduler(BaseScheduler):
     name = "largest_first"
 
     def decide(self, view: SystemView) -> Action:
-        feasible = view.feasible_jobs()
-        if not feasible:
+        # Single pass: track the max feasible job instead of
+        # materializing the feasible tuple first.
+        free_nodes = view.free_nodes
+        free_mem = view.free_memory_gb + 1e-9
+        best = None
+        best_key = None
+        for job in view.queued:
+            if job.nodes <= free_nodes and job.memory_gb <= free_mem:
+                key = (job.node_seconds, job.job_id)
+                if best_key is None or key > best_key:
+                    best, best_key = job, key
+        if best is None:
             return Delay
-        best = max(feasible, key=lambda j: (j.node_seconds, j.job_id))
         return StartJob(best.job_id)
 
 

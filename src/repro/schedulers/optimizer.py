@@ -34,13 +34,12 @@ import numpy as np
 
 from repro.schedulers.base import BaseScheduler
 from repro.schedulers.packing import (
+    IncrementalPacker,
     PackedJob,
-    pack_order,
     plan_makespan,
     plan_total_completion,
 )
 from repro.sim.actions import Action, Delay, StartJob
-from repro.sim.job import Job
 from repro.sim.simulator import SystemView
 
 
@@ -103,13 +102,20 @@ class AnnealingOptimizer(BaseScheduler):
         self,
         seed: int | np.random.SeedSequence = 0,
         config: Optional[AnnealingConfig] = None,
+        use_incremental: bool = True,
     ) -> None:
         super().__init__()
         self._seed = seed
         self.config = config or AnnealingConfig()
+        #: When False, every candidate is packed from scratch with the
+        #: retained naive reference packer — the pre-incremental code
+        #: path, kept selectable for equivalence tests and the bench's
+        #: before/after replanning measurement.
+        self.use_incremental = use_incremental
         self._rng = np.random.default_rng(seed)
         self._planned_ids: set[int] = set()
         self._plan: list[PackedJob] = []
+        self._plan_pos = 0
         self._stats: list[PlanStatistics] = []
 
     def reset(self) -> None:
@@ -117,6 +123,7 @@ class AnnealingOptimizer(BaseScheduler):
         self._rng = np.random.default_rng(self._seed)
         self._planned_ids = set()
         self._plan = []
+        self._plan_pos = 0
         self._stats = []
 
     # -- planning ---------------------------------------------------------
@@ -128,31 +135,53 @@ class AnnealingOptimizer(BaseScheduler):
             self.config.flow_time_weight * plan_total_completion(placements) / n
         )
 
-    def _pack(self, order: list[Job], view: SystemView) -> list[PackedJob]:
-        releases = [
-            (run.expected_end, run.job.nodes, run.job.memory_gb)
-            for run in view.running
-        ]
-        return pack_order(
-            order,
-            now=view.now,
-            free_nodes=view.free_nodes,
-            free_memory_gb=view.free_memory_gb,
-            releases=releases,
-        )
-
     def _replan(self, view: SystemView) -> None:
         jobs = list(view.queued)
         n = len(jobs)
         if n == 0:
             self._plan = []
+            self._plan_pos = 0
             self._planned_ids = set()
             return
+
+        releases = [
+            (run.expected_end, run.job.nodes, run.job.memory_gb)
+            for run in view.running
+        ]
+        if self.use_incremental:
+            packer = IncrementalPacker(
+                now=view.now,
+                free_nodes=view.free_nodes,
+                free_memory_gb=view.free_memory_gb,
+                releases=releases,
+            )
+            pack_full = packer.pack
+            pack_candidate = packer.pack_from
+            commit = packer.commit
+        else:
+            from repro.schedulers.packing_reference import (
+                reference_pack_order,
+            )
+
+            def pack_full(order):
+                return reference_pack_order(
+                    order,
+                    now=view.now,
+                    free_nodes=view.free_nodes,
+                    free_memory_gb=view.free_memory_gb,
+                    releases=releases,
+                )
+
+            def pack_candidate(order, pivot):
+                return pack_full(order)
+
+            def commit(order, pivot, placements):
+                pass
 
         # Initial order: largest node-seconds first (LPT flavour), a
         # strong makespan heuristic the annealer then polishes.
         order = sorted(jobs, key=lambda j: (-j.node_seconds, j.job_id))
-        placements = self._pack(order, view)
+        placements = pack_full(order)
         best_order = order
         best_obj = cur_obj = self._objective(placements, view.now)
         initial_obj = best_obj
@@ -167,19 +196,25 @@ class AnnealingOptimizer(BaseScheduler):
                     continue
                 cand = list(cur_order)
                 cand[i], cand[j] = cand[j], cand[i]
-                cand_obj = self._objective(self._pack(cand, view), view.now)
+                # The candidate shares the incumbent's prefix below the
+                # lower swap position: only the suffix is re-packed.
+                pivot = int(min(i, j))
+                cand_placements = pack_candidate(cand, pivot)
+                cand_obj = self._objective(cand_placements, view.now)
                 delta = cand_obj - cur_obj
                 if delta <= 0 or self._rng.random() < math.exp(
                     -delta / temp
                 ):
+                    commit(cand, pivot, cand_placements)
                     cur_order, cur_obj = cand, cand_obj
                     if cur_obj < best_obj:
                         best_order, best_obj = cand, cur_obj
                 temp *= self.config.cooling
 
-        final = self._pack(best_order, view)
+        final = pack_full(best_order)
         # Execute in planned start-time order.
         self._plan = sorted(final, key=lambda p: (p.start, p.job.job_id))
+        self._plan_pos = 0
         self._planned_ids = {p.job.job_id for p in self._plan}
         self._stats.append(
             PlanStatistics(
@@ -197,16 +232,19 @@ class AnnealingOptimizer(BaseScheduler):
         if queued_ids - self._planned_ids:
             self._replan(view)
 
-        # Drop placements for jobs no longer queued (already started).
-        while self._plan and self._plan[0].job.job_id not in queued_ids:
-            self._plan.pop(0)
+        # Skip placements for jobs no longer queued (already started);
+        # an index cursor replaces the old O(n) list.pop(0).
+        plan, pos = self._plan, self._plan_pos
+        while pos < len(plan) and plan[pos].job.job_id not in queued_ids:
+            pos += 1
+        self._plan_pos = pos
 
-        if not self._plan:
+        if pos >= len(plan):
             return Delay
-        head = self._plan[0]
+        head = plan[pos]
         job = view.queued_job(head.job.job_id)
         if job is not None and view.can_fit(job):
-            self._plan.pop(0)
+            self._plan_pos = pos + 1
             self._set_meta(planned_start=head.start)
             return StartJob(job.job_id)
         return Delay

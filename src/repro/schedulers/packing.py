@@ -8,6 +8,24 @@ jobs at their earliest feasible start times against the profile — the
 classic list-scheduling construction the annealing optimizer searches
 over, and the same model EASY backfilling uses for reservations.
 
+The profile is the replanning hot path, so it is engineered for
+evaluation throughput:
+
+* breakpoints live in **flat preallocated arrays** with in-place
+  shifting on insert — no per-reservation ``np.insert`` reallocation
+  (three fresh arrays per breakpoint in the naive model, retained in
+  :mod:`repro.schedulers.packing_reference`);
+* the full profile state can be captured and restored in O(k)
+  (:meth:`ResourceProfile.snapshot` / :meth:`ResourceProfile.restore`),
+  which :class:`IncrementalPacker` uses to cache prefix-pack states so
+  a candidate permutation differing from the incumbent only from
+  position *m* onward re-packs just the suffix.
+
+Every query and mutation performs the *same floating-point operations
+in the same order* as the reference implementation, so placements,
+objectives, and therefore entire seeded annealing trajectories are
+bit-identical — verified by ``tests/test_packing_equivalence.py``.
+
 The feasibility scan is numpy-vectorized (prefix sums of infeasible
 intervals + ``searchsorted``), keeping a full 100-job packing in the
 hundreds of microseconds so the annealer can afford hundreds of
@@ -16,8 +34,9 @@ evaluations per replanning event.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +45,21 @@ from repro.sim.job import Job
 
 class PackingError(RuntimeError):
     """Raised when a reservation would drive free capacity negative."""
+
+
+@dataclass(frozen=True)
+class ProfileSnapshot:
+    """An O(k) copy of a profile's breakpoint state.
+
+    Immutable by convention: the arrays are private copies made by
+    :meth:`ResourceProfile.snapshot` and are only read back by
+    :meth:`ResourceProfile.restore`.
+    """
+
+    size: int
+    times: np.ndarray
+    free_nodes: np.ndarray
+    free_memory: np.ndarray
 
 
 class ResourceProfile:
@@ -44,6 +78,8 @@ class ResourceProfile:
         Times before the origin are clamped to it.
     """
 
+    __slots__ = ("_times", "_fn", "_fm", "_size", "_b_feas", "_b_tmp")
+
     def __init__(
         self,
         origin: float,
@@ -59,20 +95,76 @@ class ResourceProfile:
             slot[1] += mem
         times = [origin] + sorted(t for t in deltas if t > origin)
         k = len(times)
-        fn = np.empty(k)
-        fm = np.empty(k)
+        # Preallocate headroom: each later reservation adds at most two
+        # breakpoints, so 2k+16 defers the first regrow past typical
+        # replan sizes; _grow doubles beyond that.
+        self._alloc(2 * k + 16)
+        self._size = k
+        self._times[:k] = times
         cur_n, cur_m = float(free_nodes), float(free_memory_gb)
         if origin in deltas:
             cur_n += deltas[origin][0]
             cur_m += deltas[origin][1]
-        fn[0], fm[0] = cur_n, cur_m
+        self._fn[0], self._fm[0] = cur_n, cur_m
         for i, t in enumerate(times[1:], start=1):
             cur_n += deltas[t][0]
             cur_m += deltas[t][1]
-            fn[i], fm[i] = cur_n, cur_m
-        self.times = np.array(times)
-        self.free_nodes = fn
-        self.free_memory = fm
+            self._fn[i], self._fm[i] = cur_n, cur_m
+
+    def _alloc(self, cap: int) -> None:
+        """(Re)allocate breakpoint storage and the scratch buffers the
+        query path writes into instead of allocating temporaries."""
+        self._times = np.empty(cap)
+        self._fn = np.empty(cap)
+        self._fm = np.empty(cap)
+        self._b_feas = np.empty(cap, dtype=bool)
+        self._b_tmp = np.empty(cap, dtype=bool)
+
+    # -- views -------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Breakpoint times (read-only view of the live prefix)."""
+        return self._times[: self._size]
+
+    @property
+    def free_nodes(self) -> np.ndarray:
+        """Free node capacity per interval (read-only view)."""
+        return self._fn[: self._size]
+
+    @property
+    def free_memory(self) -> np.ndarray:
+        """Free memory capacity per interval (read-only view)."""
+        return self._fm[: self._size]
+
+    # -- snapshot / rollback ------------------------------------------------
+    def snapshot(self) -> ProfileSnapshot:
+        """Capture the full breakpoint state in O(k)."""
+        k = self._size
+        return ProfileSnapshot(
+            size=k,
+            times=self._times[:k].copy(),
+            free_nodes=self._fn[:k].copy(),
+            free_memory=self._fm[:k].copy(),
+        )
+
+    def restore(self, snap: ProfileSnapshot) -> None:
+        """Roll the profile back to *snap* in O(k)."""
+        k = snap.size
+        if k > self._times.size:
+            self._grow(k)
+        self._times[:k] = snap.times
+        self._fn[:k] = snap.free_nodes
+        self._fm[:k] = snap.free_memory
+        self._size = k
+
+    def _grow(self, need: int) -> None:
+        cap = max(2 * self._times.size, need + 16)
+        k = self._size
+        old_times, old_fn, old_fm = self._times, self._fn, self._fm
+        self._alloc(cap)
+        self._times[:k] = old_times[:k]
+        self._fn[:k] = old_fn[:k]
+        self._fm[:k] = old_fm[:k]
 
     # -- queries ----------------------------------------------------------
     def earliest_start(
@@ -91,46 +183,98 @@ class ResourceProfile:
             If no interval ever has enough capacity (request exceeds the
             profile's eventual maximum).
         """
-        times = self.times
-        k = times.size
-        feas = (self.free_nodes >= nodes - 1e-9) & (
-            self.free_memory >= memory_gb - 1e-9
+        # Early-exit scan, equivalent interval-by-interval to the
+        # reference's full-vector formula (same clamping arithmetic,
+        # same searchsorted sides), so the returned start is
+        # bit-identical. Candidate intervals are visited in index
+        # order with two provably-safe skips:
+        #
+        # * intervals ending at or before ``not_before`` can never be
+        #   the answer (their clamped start lies in a later interval
+        #   checked on its own) — begin at the interval containing
+        #   ``not_before``;
+        # * when the span check fails at infeasible interval b, every
+        #   candidate at or below b also spans b — resume at b + 1.
+        #
+        # The infeasible positions are materialized once, and a
+        # monotone pointer walks them: total cost is O(k) for the
+        # feasibility vector plus O(1) scalar work per probe, against
+        # the reference's ~10 full-array operations per query.
+        k = self._size
+        times = self._times[:k]
+        feas = self._b_feas[:k]
+        tmp = self._b_tmp[:k]
+        np.greater_equal(self._fn[:k], nodes - 1e-9, out=feas)
+        np.greater_equal(self._fm[:k], memory_gb - 1e-9, out=tmp)
+        feas &= tmp
+        infeasible = np.flatnonzero(np.logical_not(feas, out=tmp)).tolist()
+        n_inf = len(infeasible)
+        i = int(times.searchsorted(not_before, side="right")) - 1
+        if i < 0:
+            i = 0
+        ptr = bisect_left(infeasible, i)
+        while i < k:
+            # Advance past the infeasible run at i, if any.
+            while ptr < n_inf and infeasible[ptr] == i:
+                i += 1
+                ptr += 1
+            if i >= k:
+                break
+            start = times[i]
+            if start < not_before:
+                start = not_before
+            j = int(times.searchsorted(start + duration, side="left"))
+            if ptr >= n_inf or infeasible[ptr] >= j:
+                return float(start)
+            # Span fails at infeasible[ptr]; skip every candidate that
+            # would span it too.
+            i = infeasible[ptr] + 1
+            ptr += 1
+        raise PackingError(
+            f"request for {nodes} nodes / {memory_gb:g} GB × "
+            f"{duration:g}s never fits this profile"
         )
-        # cb[i] = number of infeasible intervals among the first i.
-        cb = np.concatenate(([0], np.cumsum(~feas)))
-        starts = np.maximum(times, not_before)
-        ends_idx = np.searchsorted(times, starts + duration, side="left")
-        ok = feas & (cb[ends_idx] - cb[np.arange(k)] == 0)
-        # Ignore intervals that end before not_before (their clamped
-        # start falls in a later interval that is checked on its own).
-        if k > 1:
-            interval_end = np.concatenate((times[1:], [np.inf]))
-            ok &= interval_end > not_before
-        idx = np.flatnonzero(ok)
-        if idx.size == 0:
-            raise PackingError(
-                f"request for {nodes} nodes / {memory_gb:g} GB × "
-                f"{duration:g}s never fits this profile"
-            )
-        return float(starts[idx[0]])
 
     def capacity_at(self, time: float) -> tuple[float, float]:
         """Free (nodes, memory) at *time* (clamped to the origin)."""
         i = int(np.searchsorted(self.times, time, side="right")) - 1
         i = max(i, 0)
-        return float(self.free_nodes[i]), float(self.free_memory[i])
+        return float(self._fn[i]), float(self._fm[i])
 
     # -- mutation -----------------------------------------------------------
-    def _ensure_breakpoint(self, t: float) -> None:
-        i = int(np.searchsorted(self.times, t, side="left"))
-        if i < self.times.size and self.times[i] == t:
-            return
+    def _ensure_breakpoint(self, t: float) -> int:
+        """Insert a breakpoint at *t* if absent; return its index."""
+        k = self._size
+        times = self._times
+        if t > times[k - 1]:
+            # Append fast path: reservations usually extend the tail.
+            if k + 1 > times.size:
+                self._grow(k + 1)
+                times = self._times
+            times[k] = t
+            self._fn[k] = self._fn[k - 1]
+            self._fm[k] = self._fm[k - 1]
+            self._size = k + 1
+            return k
+        i = int(times[:k].searchsorted(t, side="left"))
+        if times[i] == t:
+            return i
+        if k + 1 > times.size:
+            self._grow(k + 1)
+            times = self._times
         prev = max(i - 1, 0)
-        self.times = np.insert(self.times, i, t)
-        self.free_nodes = np.insert(self.free_nodes, i, self.free_nodes[prev])
-        self.free_memory = np.insert(
-            self.free_memory, i, self.free_memory[prev]
-        )
+        fn_prev = self._fn[prev]
+        fm_prev = self._fm[prev]
+        # In-place shift (numpy buffers overlapping copies) instead of
+        # allocating three fresh arrays per breakpoint.
+        times[i + 1 : k + 1] = times[i:k]
+        self._fn[i + 1 : k + 1] = self._fn[i:k]
+        self._fm[i + 1 : k + 1] = self._fm[i:k]
+        times[i] = t
+        self._fn[i] = fn_prev
+        self._fm[i] = fm_prev
+        self._size = k + 1
+        return i
 
     def reserve(
         self, start: float, duration: float, nodes: float, memory_gb: float
@@ -141,19 +285,35 @@ class ResourceProfile:
         any interval (callers should have used :meth:`earliest_start`).
         """
         end = start + duration
-        self._ensure_breakpoint(start)
-        self._ensure_breakpoint(end)
-        i = int(np.searchsorted(self.times, start, side="left"))
-        j = int(np.searchsorted(self.times, end, side="left"))
-        if np.any(self.free_nodes[i:j] < nodes - 1e-9) or np.any(
-            self.free_memory[i:j] < memory_gb - 1e-9
+        i = self._ensure_breakpoint(start)
+        j = self._ensure_breakpoint(end)
+        if np.any(self._fn[i:j] < nodes - 1e-9) or np.any(
+            self._fm[i:j] < memory_gb - 1e-9
         ):
             raise PackingError(
                 f"reservation [{start:g}, {end:g}) for {nodes} nodes / "
                 f"{memory_gb:g} GB oversubscribes the profile"
             )
-        self.free_nodes[i:j] -= nodes
-        self.free_memory[i:j] -= memory_gb
+        self._fn[i:j] -= nodes
+        self._fm[i:j] -= memory_gb
+
+    def reserve_trusted(
+        self, start: float, duration: float, nodes: float, memory_gb: float
+    ) -> None:
+        """:meth:`reserve` without the oversubscription re-check.
+
+        For reservations whose feasibility is already established —
+        a start just returned by :meth:`earliest_start` against this
+        exact profile state, or the replay of a previously validated
+        placement. The check in :meth:`reserve` can only fire on caller
+        error, and it costs two full-array comparisons per placement on
+        the replanning hot path.
+        """
+        end = start + duration
+        i = self._ensure_breakpoint(start)
+        j = self._ensure_breakpoint(end)
+        self._fn[i:j] -= nodes
+        self._fm[i:j] -= memory_gb
 
 
 @dataclass(frozen=True)
@@ -166,6 +326,125 @@ class PackedJob:
     @property
     def end(self) -> float:
         return self.start + self.job.duration
+
+
+class IncrementalPacker:
+    """Prefix-cached serial schedule generation for one decision state.
+
+    Built once per replanning event from the system snapshot (free
+    capacity + expected releases), then used to evaluate many candidate
+    permutations. The packer keeps the incumbent order's placements and
+    O(k) profile snapshots at checkpoint positions; a candidate that
+    shares the incumbent's prefix up to ``pivot`` (an annealing swap at
+    positions ``i < j`` shares ``[0, i)``) restores the cached state at
+    the pivot and packs only the suffix.
+
+    Checkpoint density is adaptive: every position for small queues,
+    every ``n // 96`` positions for large ones (restoring then replays
+    at most one stride of already-known reservations — no
+    ``earliest_start`` searches — to reach the pivot), bounding memory
+    at ~96 snapshots while keeping restores cheap.
+
+    All placements are produced by the identical operation sequence a
+    from-scratch pack would perform, so results are bit-identical to
+    :func:`pack_order` — the property the annealer's seeded trajectory
+    depends on.
+    """
+
+    def __init__(
+        self,
+        *,
+        now: float,
+        free_nodes: float,
+        free_memory_gb: float,
+        releases: Iterable[tuple[float, float, float]] = (),
+        checkpoint_stride: Optional[int] = None,
+    ) -> None:
+        self._now = now
+        self._profile = ResourceProfile(
+            now, free_nodes, free_memory_gb, releases
+        )
+        self._base = self._profile.snapshot()
+        self._stride_override = checkpoint_stride
+        self._order: list[Job] = []
+        self._placements: list[PackedJob] = []
+        # Checkpoint 0 from the start so pack_from() before any pack()
+        # degrades to a pivot-0 full pack instead of failing.
+        self._checkpoints: dict[int, ProfileSnapshot] = {0: self._base}
+
+    def _stride_for(self, n: int) -> int:
+        if self._stride_override is not None:
+            return max(1, self._stride_override)
+        return max(1, n // 96)
+
+    def _place(self, job: Job) -> PackedJob:
+        start = self._profile.earliest_start(
+            job.nodes, job.memory_gb, job.duration,
+            not_before=max(self._now, job.submit_time),
+        )
+        self._profile.reserve_trusted(
+            start, job.duration, job.nodes, job.memory_gb
+        )
+        return PackedJob(job, start)
+
+    # -- packing ------------------------------------------------------------
+    def pack(self, order: Sequence[Job]) -> list[PackedJob]:
+        """Pack *order* from scratch and adopt it as the incumbent."""
+        self._profile.restore(self._base)
+        stride = self._stride_for(len(order))
+        checkpoints = {0: self._base}
+        placements: list[PackedJob] = []
+        for p, job in enumerate(order):
+            if p and p % stride == 0:
+                checkpoints[p] = self._profile.snapshot()
+            placements.append(self._place(job))
+        self._order = list(order)
+        self._placements = placements
+        self._checkpoints = checkpoints
+        return list(placements)
+
+    def _restore_to(self, pivot: int) -> None:
+        """Put the profile in the incumbent's state after ``[0, pivot)``."""
+        anchor = max(p for p in self._checkpoints if p <= pivot)
+        self._profile.restore(self._checkpoints[anchor])
+        stride = self._stride_for(len(self._order))
+        for p in range(anchor, pivot):
+            pl = self._placements[p]
+            self._profile.reserve_trusted(
+                pl.start, pl.job.duration, pl.job.nodes, pl.job.memory_gb
+            )
+            # Densify checkpoints along the replay path so repeated
+            # restores near this pivot skip the replay next time.
+            nxt = p + 1
+            if nxt % stride == 0 and nxt not in self._checkpoints:
+                self._checkpoints[nxt] = self._profile.snapshot()
+
+    def pack_from(
+        self, order: Sequence[Job], pivot: int
+    ) -> list[PackedJob]:
+        """Speculatively pack *order*, whose first *pivot* entries match
+        the incumbent order, re-packing only ``order[pivot:]``.
+
+        Does not change the incumbent; call :meth:`commit` to adopt the
+        candidate.
+        """
+        pivot = min(pivot, len(self._placements))
+        self._restore_to(pivot)
+        suffix = [self._place(job) for job in order[pivot:]]
+        return self._placements[:pivot] + suffix
+
+    def commit(
+        self,
+        order: Sequence[Job],
+        pivot: int,
+        placements: Sequence[PackedJob],
+    ) -> None:
+        """Adopt a candidate evaluated via :meth:`pack_from` as the new
+        incumbent; cached state before *pivot* stays valid."""
+        self._order = list(order)
+        self._placements = list(placements)
+        for p in [p for p in self._checkpoints if p > pivot]:
+            del self._checkpoints[p]
 
 
 def pack_order(

@@ -201,6 +201,13 @@ class NodeLevelCluster:
     _placements: dict[int, tuple[np.ndarray, float]] = field(
         init=False, default_factory=dict, repr=False
     )
+    #: Cached (free_nodes, free_memory_gb); recomputed with the exact
+    #: same numpy reductions on first read after a state change, so the
+    #: per-decision aggregate queries are O(1) without any accumulated
+    #: float drift an incremental running total would introduce.
+    _agg_cache: tuple[int, float] | None = field(
+        init=False, default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.node_count <= 0:
@@ -221,13 +228,24 @@ class NodeLevelCluster:
     def total_memory_gb(self) -> float:
         return self.node_count * self.memory_per_node_gb
 
+    def _aggregates(self) -> tuple[int, float]:
+        agg = self._agg_cache
+        if agg is None:
+            free = self._node_owner < 0
+            agg = (
+                int(free.sum()),
+                float(self._node_free_mem[free].sum()),
+            )
+            self._agg_cache = agg
+        return agg
+
     @property
     def free_nodes(self) -> int:
-        return int((self._node_owner < 0).sum())
+        return self._aggregates()[0]
 
     @property
     def free_memory_gb(self) -> float:
-        return float(self._node_free_mem[self._node_owner < 0].sum())
+        return self._aggregates()[1]
 
     def _candidate_nodes(self, job: Job) -> np.ndarray | None:
         per_node_mem = job.memory_gb / job.nodes
@@ -259,6 +277,7 @@ class NodeLevelCluster:
         self._node_owner[nodes] = job.job_id
         self._node_free_mem[nodes] -= per_node_mem
         self._placements[job.job_id] = (nodes.copy(), per_node_mem)
+        self._agg_cache = None
 
     def release(self, job_id: int) -> None:
         try:
@@ -270,11 +289,13 @@ class NodeLevelCluster:
         np.minimum(
             self._node_free_mem, self.memory_per_node_gb, out=self._node_free_mem
         )
+        self._agg_cache = None
 
     def reset(self) -> None:
         self._placements.clear()
         self._node_free_mem[:] = self.memory_per_node_gb
         self._node_owner[:] = -1
+        self._agg_cache = None
 
     @property
     def used_nodes(self) -> int:

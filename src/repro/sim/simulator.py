@@ -16,7 +16,15 @@ the ReAct LLM agent all implement :class:`SchedulerProtocol`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Protocol, runtime_checkable
+from typing import (
+    Any,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.sim.actions import Action, ActionKind, Delay
 from repro.sim.cluster import ClusterModel, ResourcePool
@@ -52,6 +60,58 @@ class RunningJob:
         return self.start_time + self.runtime
 
 
+class CompletedLog(Sequence[int]):
+    """Zero-copy immutable snapshot of the completion log.
+
+    The simulator's completion log is append-only, so a snapshot is
+    just the shared underlying list plus its length at snapshot time —
+    O(1) to take regardless of how many jobs have completed, while
+    earlier snapshots stay valid as the log keeps growing. (The naive
+    ``tuple(completed_ids)`` per decision made snapshot cost grow
+    linearly with completed jobs, i.e. quadratically over a run.)
+    """
+
+    __slots__ = ("_log", "_n")
+
+    def __init__(self, log: list[int], n: Optional[int] = None) -> None:
+        self._log = log
+        self._n = len(log) if n is None else n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):  # int or slice
+        if isinstance(index, slice):
+            log = self._log
+            return tuple(
+                log[i] for i in range(*index.indices(self._n))
+            )
+        n = self._n
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("CompletedLog index out of range")
+        return self._log[index]
+
+    def __iter__(self) -> Iterator[int]:
+        log = self._log
+        for i in range(self._n):
+            yield log[i]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (CompletedLog, tuple, list)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return f"CompletedLog({tuple(self)!r})"
+
+
 @dataclass(frozen=True)
 class SystemView:
     """Read-only snapshot handed to schedulers at a decision point.
@@ -60,12 +120,17 @@ class SystemView:
     in paper §3.4 (current time, available resources, running jobs,
     waiting jobs) plus look-ahead hooks (next event times) that
     event-driven baselines use.
+
+    ``completed_ids`` accepts any integer sequence; the simulator
+    passes a :class:`CompletedLog` (an O(1) copy-on-write snapshot of
+    its append-only completion log), while hand-built views in tests
+    typically pass plain tuples.
     """
 
     now: float
     queued: tuple[Job, ...]
     running: tuple[RunningJob, ...]
-    completed_ids: tuple[int, ...]
+    completed_ids: Sequence[int]
     free_nodes: int
     free_memory_gb: float
     total_nodes: int
@@ -76,6 +141,11 @@ class SystemView:
     #: Jobs submitted but held back by unmet dependencies (the §6
     #: dependency extension); they are not eligible to schedule yet.
     blocked_jobs: int = 0
+    #: Lazily-built id → job index over ``queued`` (see
+    #: :meth:`queued_job`); excluded from init/repr/comparison.
+    _queued_index: Optional[dict[int, Job]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def all_jobs_scheduled(self) -> bool:
@@ -88,10 +158,17 @@ class SystemView:
         )
 
     def queued_job(self, job_id: int) -> Optional[Job]:
-        for job in self.queued:
-            if job.job_id == job_id:
-                return job
-        return None
+        """O(1) lookup of a queued job by id.
+
+        Both the optimizer and the LLM prompt/constraint pipeline call
+        this per decision; the index is built once on first use instead
+        of scanning the queue each call.
+        """
+        index = self._queued_index
+        if index is None:
+            index = {job.job_id: job for job in self.queued}
+            object.__setattr__(self, "_queued_index", index)
+        return index.get(job_id)
 
     def can_fit(self, job: Job) -> bool:
         """First-fit feasibility against the aggregate free resources."""
@@ -240,9 +317,21 @@ class HPCSimulator:
         def deps_met(job: Job) -> bool:
             return all(dep in completed_set for dep in job.depends_on)
 
+        #: Decision-point snapshot, reused verbatim across rejection
+        #: retries (system state cannot change between them) and rebuilt
+        #: only after a mutation. ``completed_ids`` shares the
+        #: append-only completion log via CompletedLog, so building a
+        #: view costs O(queue + running) — flat in completed-job count.
+        view_cache: Optional[SystemView] = None
+
+        def invalidate_view() -> None:
+            nonlocal view_cache
+            view_cache = None
+
         def process_events_at(time: float) -> None:
             nonlocal pending_arrivals
             for event in events.pop_until(time):
+                invalidate_view()
                 if event.kind is EventKind.COMPLETION:
                     run = running.pop(event.job_id)
                     self.cluster.release(event.job_id)
@@ -273,6 +362,9 @@ class HPCSimulator:
                         blocked[job.job_id] = job
 
         def build_view() -> SystemView:
+            nonlocal view_cache
+            if view_cache is not None:
+                return view_cache
             next_arrival: Optional[float] = None
             next_completion: Optional[float] = None
             if pending_arrivals:
@@ -282,11 +374,11 @@ class HPCSimulator:
             if len(queue_order) > 2 * len(queued) + 8:
                 queue_order[:] = [jid for jid in queue_order if jid in queued]
             ordered_queue = tuple(queued[jid] for jid in queue_order if jid in queued)
-            return SystemView(
+            view_cache = SystemView(
                 now=now,
                 queued=ordered_queue,
                 running=tuple(running.values()),
-                completed_ids=tuple(completed_ids),
+                completed_ids=CompletedLog(completed_ids),
                 free_nodes=self.cluster.free_nodes,
                 free_memory_gb=self.cluster.free_memory_gb,
                 total_nodes=self.cluster.total_nodes,
@@ -296,6 +388,7 @@ class HPCSimulator:
                 next_completion_time=next_completion,
                 blocked_jobs=len(blocked),
             )
+            return view_cache
 
         final_stop_asked = False
 
@@ -344,6 +437,7 @@ class HPCSimulator:
                     stopped = True
                     break
                 # StartJob / BackfillJob
+                invalidate_view()
                 job = queued.pop(action.job_id)  # type: ignore[arg-type]
                 self.cluster.allocate(job)
                 runtime = (
@@ -416,7 +510,9 @@ class HPCSimulator:
                         f"scheduler {self.scheduler.name!r} keeps delaying"
                     )
                 break
-            now = max(now, next_time)
+            if next_time > now:
+                invalidate_view()  # views carry `now`
+                now = next_time
 
         result = ScheduleResult(
             records=records,

@@ -1,0 +1,213 @@
+"""Tests for the ``repro-sched bench`` harness (fast, tiny configs)."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+from repro.experiments.bench import (
+    BenchConfig,
+    Regression,
+    compare_to_baseline,
+    render_report,
+    run_bench,
+)
+from repro.experiments.cli import build_parser, main
+
+
+def tiny_config() -> BenchConfig:
+    return BenchConfig(
+        replan_sizes=(6,),
+        replan_repeats=1,
+        replan_running=2,
+        snapshot_jobs=30,
+        per_decision_cells=(("heterogeneous_mix", "fcfs", 15),),
+        sweep_scenarios=("heterogeneous_mix",),
+        sweep_sizes=(8,),
+        sweep_schedulers=("fcfs",),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_bench(tiny_config())
+
+
+class TestRunBench:
+    def test_report_shape(self, tiny_report):
+        assert tiny_report["schema"] == bench.SCHEMA_VERSION
+        metrics = tiny_report["metrics"]
+        assert {"replan_event", "decision_snapshot", "per_decision", "sweep"} \
+            <= set(metrics)
+        row = metrics["replan_event"][0]
+        assert row["queue_size"] == 6
+        assert row["incremental_ms"] > 0
+        assert row["naive_ms"] > 0
+        assert row["speedup"] > 0
+        snap = metrics["decision_snapshot"]
+        assert snap["n_jobs"] == 30
+        assert snap["decisions"] > 0
+        assert snap["us_per_decision"] > 0
+
+    def test_render_report_mentions_sections(self, tiny_report):
+        text = render_report(tiny_report)
+        assert "replanning event" in text
+        assert "decision snapshots" in text
+        assert "serial sweep" in text
+
+    def test_write_load_roundtrip(self, tiny_report, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        bench.write_report(tiny_report, path)
+        loaded = bench.load_report(path)
+        assert loaded == json.loads(json.dumps(tiny_report))
+
+    def test_load_rejects_schema_mismatch(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 999}')
+        with pytest.raises(ValueError, match="schema"):
+            bench.load_report(str(path))
+
+
+def synthetic_report(**overrides):
+    base = {
+        "schema": bench.SCHEMA_VERSION,
+        "metrics": {
+            "replan_event": [
+                {
+                    "queue_size": 100,
+                    "incremental_ms": 100.0,
+                    "naive_ms": 500.0,
+                    "speedup": 5.0,
+                }
+            ],
+            "decision_snapshot": {
+                "n_jobs": 2000,
+                "decisions": 6000,
+                "wall_s": 0.3,
+                "us_per_decision": 50.0,
+                "first_quartile_us": 50.0,
+                "last_quartile_us": 50.0,
+                "growth_ratio": 1.0,
+            },
+            "per_decision": [
+                {
+                    "scenario": "heterogeneous_mix",
+                    "scheduler": "fcfs",
+                    "n_jobs": 400,
+                    "decisions": 1200,
+                    "wall_s": 0.04,
+                    "us_per_decision": 30.0,
+                }
+            ],
+            "sweep": {"cells": 6, "wall_s": 2.0},
+        },
+    }
+    for path, value in overrides.items():
+        section, key = path.split(".")
+        target = base["metrics"][section]
+        if isinstance(target, list):
+            target[0][key] = value
+        else:
+            target[key] = value
+    return base
+
+
+class TestCompareToBaseline:
+    def test_no_regressions_when_identical(self):
+        assert compare_to_baseline(synthetic_report(), synthetic_report()) == []
+
+    def test_latency_regression_detected(self):
+        current = synthetic_report(**{"replan_event.incremental_ms": 200.0})
+        regs = compare_to_baseline(current, synthetic_report())
+        assert any("incremental_ms" in r.metric for r in regs)
+        reg = next(r for r in regs if "incremental_ms" in r.metric)
+        assert reg.change == pytest.approx(1.0)
+        assert "worse" in reg.describe()
+
+    def test_speedup_drop_detected_as_higher_is_better(self):
+        current = synthetic_report(**{"replan_event.speedup": 2.0})
+        regs = compare_to_baseline(current, synthetic_report())
+        assert any(r.metric.endswith("speedup") for r in regs)
+
+    def test_per_decision_latency_regression_detected(self):
+        current = synthetic_report(
+            **{
+                "per_decision.us_per_decision": 300.0,
+                "decision_snapshot.us_per_decision": 500.0,
+            }
+        )
+        regs = compare_to_baseline(current, synthetic_report())
+        assert sum("us_per_decision" in r.metric for r in regs) == 2
+
+    def test_every_flattened_metric_has_a_direction(self):
+        # Guards against adding a metric that the regression check
+        # silently skips (neither suffix list matches its key).
+        flat = bench._flatten(synthetic_report())
+        assert flat
+        for key in flat:
+            assert key.endswith(
+                bench._HIGHER_IS_BETTER_SUFFIXES
+            ) or key.endswith(bench._LOWER_IS_BETTER_SUFFIXES), key
+
+    def test_improvements_are_not_regressions(self):
+        current = synthetic_report(
+            **{
+                "replan_event.incremental_ms": 10.0,
+                "replan_event.speedup": 50.0,
+                "sweep.wall_s": 0.5,
+            }
+        )
+        assert compare_to_baseline(current, synthetic_report()) == []
+
+    def test_within_threshold_tolerated(self):
+        current = synthetic_report(**{"sweep.wall_s": 2.4})  # +20% < 25%
+        assert compare_to_baseline(current, synthetic_report()) == []
+
+    def test_missing_keys_ignored(self):
+        current = synthetic_report()
+        del current["metrics"]["sweep"]["wall_s"]
+        baseline = synthetic_report(**{"sweep.wall_s": 0.001})
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_regression_dataclass_fields(self):
+        reg = Regression(
+            metric="sweep.wall_s", baseline=1.0, current=2.0, change=1.0
+        )
+        assert "sweep.wall_s" in reg.describe()
+
+
+class TestCliWiring:
+    def test_bench_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--json", "out.json",
+             "--baseline", "base.json", "--threshold", "0.5"]
+        )
+        assert args.command == "bench"
+        assert args.quick
+        assert args.json == "out.json"
+        assert args.baseline == "base.json"
+        assert args.threshold == 0.5
+
+    def test_bench_regression_warning_path(self, tmp_path, capsys, monkeypatch):
+        # Exercise the baseline-comparison branch without running a
+        # real bench: patch run_bench to return a canned report.
+        current = synthetic_report(**{"sweep.wall_s": 10.0})
+        current["quick"] = True
+        current["python"] = "3.x"
+
+        monkeypatch.setattr(
+            bench, "run_bench", lambda quick, progress=None: current
+        )
+        baseline_path = tmp_path / "BENCH_base.json"
+        base = synthetic_report()
+        base["quick"] = True
+        base["python"] = "3.x"
+        baseline_path.write_text(json.dumps(base))
+        monkeypatch.setenv("GITHUB_ACTIONS", "1")
+
+        rc = main(["bench", "--quick", "--baseline", str(baseline_path)])
+        out = capsys.readouterr().out
+        assert rc == 0  # regressions never fail the command
+        assert "WARNING" in out
+        assert "::warning" in out
+        assert "wall_s" in out

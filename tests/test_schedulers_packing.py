@@ -67,6 +67,68 @@ class TestResourceProfile:
         assert profile.earliest_start(1, 32.0, 5.0, not_before=0.0) == 30.0
 
 
+class TestResourceProfileEdgeCases:
+    def test_zero_duration_reservation_is_noop(self):
+        profile = ResourceProfile(0.0, 8, 64.0)
+        profile.reserve(10.0, 0.0, 8, 64.0)
+        # No capacity consumed anywhere, including at the instant itself.
+        assert profile.earliest_start(8, 64.0, 5.0, not_before=0.0) == 0.0
+        assert profile.capacity_at(10.0) == (8.0, 64.0)
+
+    def test_zero_duration_query_waits_for_feasible_interval(self):
+        profile = ResourceProfile(0.0, 8, 64.0)
+        profile.reserve(0.0, 100.0, 8, 64.0)
+        # An instantaneous request spans no interval, but its anchor
+        # interval must still be feasible: it waits for the release.
+        assert profile.earliest_start(8, 64.0, 0.0, not_before=0.0) == 100.0
+        assert profile.earliest_start(1, 1.0, 0.0, not_before=40.0) == 100.0
+
+    def test_coincident_release_times_merge(self):
+        profile = ResourceProfile(
+            0.0, 0, 0.0, releases=[(50.0, 3, 24.0), (50.0, 5, 40.0)]
+        )
+        assert profile.times.size == 2  # origin + one merged breakpoint
+        assert profile.capacity_at(50.0) == (8.0, 64.0)
+        assert profile.earliest_start(8, 64.0, 10.0, not_before=0.0) == 50.0
+
+    def test_release_before_origin_clamps_to_origin(self):
+        profile = ResourceProfile(100.0, 2, 16.0, releases=[(40.0, 6, 48.0)])
+        assert profile.times.size == 1
+        assert profile.capacity_at(100.0) == (8.0, 64.0)
+
+    def test_reservation_at_profile_origin(self):
+        profile = ResourceProfile(25.0, 8, 64.0)
+        profile.reserve(25.0, 10.0, 8, 64.0)
+        assert profile.capacity_at(25.0) == (0.0, 0.0)
+        assert profile.earliest_start(1, 1.0, 1.0, not_before=25.0) == 35.0
+
+    def test_reserve_trusted_matches_checked_reserve(self):
+        checked = ResourceProfile(0.0, 8, 64.0, releases=[(30.0, 2, 8.0)])
+        trusted = ResourceProfile(0.0, 8, 64.0, releases=[(30.0, 2, 8.0)])
+        for start, dur, nodes, mem in [
+            (0.0, 10.0, 4, 16.0),
+            (5.0, 20.0, 2, 8.0),
+            (30.0, 5.0, 4, 32.0),
+        ]:
+            checked.reserve(start, dur, nodes, mem)
+            trusted.reserve_trusted(start, dur, nodes, mem)
+        np.testing.assert_array_equal(checked.times, trusted.times)
+        np.testing.assert_array_equal(checked.free_nodes, trusted.free_nodes)
+        np.testing.assert_array_equal(
+            checked.free_memory, trusted.free_memory
+        )
+
+    def test_growth_preserves_state(self):
+        profile = ResourceProfile(0.0, 256, 2048.0)
+        starts = []
+        for s in range(120):  # far beyond the initial capacity
+            start = profile.earliest_start(2, 16.0, 3.0, not_before=1.5 * s)
+            profile.reserve(start, 3.0, 2, 16.0)
+            starts.append(start)
+        assert starts == [1.5 * s for s in range(120)]
+        assert profile.times.size > 120
+
+
 class TestPackOrder:
     def test_sequential_when_full(self):
         jobs = [

@@ -7,7 +7,13 @@ from repro.schedulers.heuristics import DelayingScheduler, FirstFitScheduler
 from repro.sim.actions import Delay, StartJob, Stop
 from repro.sim.cluster import ResourcePool
 from repro.sim.schedule import ScheduleResult
-from repro.sim.simulator import HPCSimulator, SimulationError, SystemView, simulate
+from repro.sim.simulator import (
+    CompletedLog,
+    HPCSimulator,
+    SimulationError,
+    SystemView,
+    simulate,
+)
 
 from tests.conftest import make_job, run_sim
 
@@ -250,6 +256,85 @@ class TestSystemView:
         waits = view.user_wait_times()
         assert waits["alice"] == pytest.approx(150.0)
         assert waits["bob"] == pytest.approx(10.0)
+
+
+class TestCompletedLog:
+    def test_sequence_semantics(self):
+        log = CompletedLog([3, 1, 4, 1, 5])
+        assert len(log) == 5
+        assert list(log) == [3, 1, 4, 1, 5]
+        assert log[0] == 3
+        assert log[-1] == 5
+        assert log[1:3] == (1, 4)
+        assert 4 in log
+        assert log == (3, 1, 4, 1, 5)
+        assert log == [3, 1, 4, 1, 5]
+        with pytest.raises(IndexError):
+            log[5]
+
+    def test_snapshot_is_isolated_from_appends(self):
+        backing = [1, 2]
+        snap = CompletedLog(backing, 2)
+        backing.append(3)
+        later = CompletedLog(backing)
+        # The earlier snapshot still sees exactly two entries even
+        # though it shares the grown backing list (zero-copy).
+        assert tuple(snap) == (1, 2)
+        assert tuple(later) == (1, 2, 3)
+        assert snap != later
+
+    def test_simulator_views_carry_live_completed_ids(self):
+        seen: list[tuple[int, ...]] = []
+
+        class Capture(FCFSScheduler):
+            def decide(self, view):
+                seen.append(tuple(view.completed_ids))
+                return super().decide(view)
+
+        jobs = [
+            make_job(1, duration=10.0, nodes=8),
+            make_job(2, submit=1.0, duration=10.0, nodes=8),
+            make_job(3, submit=2.0, duration=10.0, nodes=8),
+        ]
+        run_sim(jobs, Capture(), nodes=8, memory=64.0)
+        assert seen[0] == ()
+        assert seen[-1] == (1, 2)  # two completions before job 3 starts
+
+    def test_queued_job_index_matches_scan(self):
+        jobs = tuple(make_job(i, nodes=1) for i in range(1, 6))
+        view = SystemView(
+            now=0.0,
+            queued=jobs,
+            running=(),
+            completed_ids=(),
+            free_nodes=8,
+            free_memory_gb=64.0,
+            total_nodes=8,
+            total_memory_gb=64.0,
+            pending_arrivals=0,
+            next_arrival_time=None,
+            next_completion_time=None,
+        )
+        for job in jobs:
+            assert view.queued_job(job.job_id) is job
+        assert view.queued_job(99) is None
+
+    def test_view_reused_across_retries(self):
+        views: list[SystemView] = []
+
+        class AlwaysInvalid(FCFSScheduler):
+            name = "always_invalid"
+
+            def decide(self, view):
+                views.append(view)
+                if len(views) < 3:
+                    return StartJob(999)  # rejected: unknown job
+                return super().decide(view)
+
+        run_sim([make_job(1, nodes=1)], AlwaysInvalid(), nodes=8, memory=64.0)
+        # State cannot change between rejection retries, so the
+        # simulator hands out the identical snapshot object.
+        assert views[0] is views[1] is views[2]
 
 
 class TestEmitsStop:
