@@ -30,12 +30,20 @@ Subpackages
 from repro.core import create_llm_scheduler
 from repro.metrics import compute_metrics, normalize_to_baseline
 from repro.schedulers import available_schedulers, create_scheduler
+from repro.sim.disruptions import (
+    DISRUPTION_PRESETS,
+    DisruptionSpec,
+    DisruptionTrace,
+)
 from repro.sim.simulator import HPCSimulator, simulate
 from repro.workloads import generate_workload
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DISRUPTION_PRESETS",
+    "DisruptionSpec",
+    "DisruptionTrace",
     "HPCSimulator",
     "available_schedulers",
     "compute_metrics",

@@ -17,6 +17,11 @@ of the three hot paths this project optimizes:
 * **per_decision** / **sweep** — end-to-end per-decision latency for
   representative (scenario, scheduler) cells and total wall-clock of a
   small serial matrix, the figure-sweep proxy.
+* **disruption** — a failure-heavy 2000-job run (checkpoint restarts)
+  next to the identical undisrupted run: absolute per-decision
+  latencies plus the dimensionless ``overhead_ratio`` (disrupted ÷
+  clean per-decision cost), tracking what requeue churn costs the
+  engine.
 
 Regression tracking: :func:`compare_to_baseline` diffs a fresh report
 against a committed baseline (e.g. ``BENCH_PR2.json``) and returns the
@@ -46,10 +51,14 @@ _LOWER_IS_BETTER_SUFFIXES = (
     "_us",
     "_s",
     "us_per_decision",
-    "growth_ratio",
+    "_ratio",
 )
 #: Metrics where larger is better.
 _HIGHER_IS_BETTER_SUFFIXES = ("speedup",)
+
+#: Dimensionless metrics (pure ratios of same-run timings): these stay
+#: comparable across runner generations, unlike absolute wall-clock.
+_DIMENSIONLESS_SUFFIXES = ("speedup", "_ratio")
 
 
 @dataclass
@@ -78,6 +87,13 @@ class BenchConfig:
     sweep_scenarios: tuple[str, ...] = ("heterogeneous_mix", "adversarial")
     sweep_sizes: tuple[int, ...] = (20, 40)
     sweep_schedulers: tuple[str, ...] = ("fcfs", "sjf", "ortools_like")
+    #: Failure-heavy disruption cell: (scenario, scheduler, n_jobs).
+    disruption_cell: tuple[str, str, int] = (
+        "checkpoint_stress", "fcfs_backfill", 2000,
+    )
+    disruption_mtbf: float = 40_000.0
+    disruption_mttr: float = 1_200.0
+    disruption_checkpoint: float = 900.0
     seed: int = 0
 
     @classmethod
@@ -91,6 +107,9 @@ class BenchConfig:
                 ("heterogeneous_mix", "ortools_like", 60),
             ),
             sweep_sizes=(20,),
+            # The disruption cell stays at full size in the quick/CI
+            # profile: it is this PR's acceptance-tracking measurement
+            # and completes in seconds.
         )
 
 
@@ -261,6 +280,56 @@ def bench_per_decision(cfg: BenchConfig) -> list[dict[str, Any]]:
     return rows
 
 
+def bench_disruption(cfg: BenchConfig) -> dict[str, Any]:
+    """Failure-heavy run vs. its undisrupted twin.
+
+    Same workload, same scheduler, once with a seeded per-node failure
+    process and checkpoint restarts and once clean. The dimensionless
+    ``overhead_ratio`` (disrupted ÷ clean µs/decision) survives runner
+    generation changes, so baseline comparisons stay meaningful where
+    absolute timings drift.
+    """
+    from repro.sim.disruptions import DisruptionSpec
+
+    scenario, scheduler, n_jobs = cfg.disruption_cell
+    spec = DisruptionSpec(
+        mtbf=cfg.disruption_mtbf, mttr=cfg.disruption_mttr, seed=cfg.seed
+    )
+
+    def timed(disruptions):
+        t0 = time.perf_counter()
+        run = run_single(
+            scenario, n_jobs, scheduler,
+            workload_seed=cfg.seed, scheduler_seed=cfg.seed,
+            disruptions=disruptions,
+            restart_policy="checkpoint" if disruptions else "resubmit",
+            checkpoint_interval=(
+                cfg.disruption_checkpoint if disruptions else None
+            ),
+        )
+        return time.perf_counter() - t0, run
+
+    clean_wall, clean = timed(None)
+    disrupted_wall, disrupted = timed(spec)
+    clean_us = clean_wall / max(len(clean.result.decisions), 1) * 1e6
+    disrupted_us = (
+        disrupted_wall / max(len(disrupted.result.decisions), 1) * 1e6
+    )
+    return {
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "n_jobs": n_jobs,
+        "n_preemptions": len(disrupted.result.preemptions),
+        "clean_wall_s": round(clean_wall, 3),
+        "disrupted_wall_s": round(disrupted_wall, 3),
+        "clean_us_per_decision": round(clean_us, 2),
+        "disrupted_us_per_decision": round(disrupted_us, 2),
+        "overhead_ratio": round(disrupted_us / clean_us, 3)
+        if clean_us
+        else 1.0,
+    }
+
+
 def bench_sweep(cfg: BenchConfig) -> dict[str, Any]:
     t0 = time.perf_counter()
     runs = run_matrix(
@@ -297,6 +366,8 @@ def run_bench(
     snapshot = bench_decision_snapshot(cfg)
     note("per_decision: end-to-end decision latencies …")
     per_decision = bench_per_decision(cfg)
+    note("disruption: failure-heavy run vs undisrupted twin …")
+    disruption = bench_disruption(cfg)
     note("sweep: serial mini-matrix wall clock …")
     sweep = bench_sweep(cfg)
 
@@ -309,6 +380,7 @@ def run_bench(
             "replan_event": replan,
             "decision_snapshot": snapshot,
             "per_decision": per_decision,
+            "disruption": disruption,
             "sweep": sweep,
         },
     }
@@ -337,6 +409,19 @@ def _flatten(report: dict[str, Any]) -> dict[str, float]:
             f"/{row['n_jobs']}]"
         )
         flat[f"{base}.us_per_decision"] = float(row["us_per_decision"])
+    dis = metrics.get("disruption", {})
+    if dis:
+        base = (
+            f"disruption[{dis.get('scenario')}/{dis.get('scheduler')}"
+            f"/{dis.get('n_jobs')}]"
+        )
+        for key in (
+            "clean_us_per_decision",
+            "disrupted_us_per_decision",
+            "overhead_ratio",
+        ):
+            if key in dis:
+                flat[f"{base}.{key}"] = float(dis[key])
     sweep = metrics.get("sweep", {})
     if "wall_s" in sweep:
         flat[f"sweep[{sweep.get('cells')}].wall_s"] = float(sweep["wall_s"])
@@ -364,15 +449,22 @@ def compare_to_baseline(
     baseline: dict[str, Any],
     *,
     threshold: float = 0.25,
+    dimensionless_only: bool = False,
 ) -> list[Regression]:
     """Metrics that regressed more than *threshold* vs *baseline*.
 
     Only metric keys present in both reports are compared, so config
     reshapes (new sizes, new cells) do not fabricate regressions.
+    With ``dimensionless_only``, only pure-ratio metrics (speedups,
+    growth/overhead ratios) are compared — the comparison that stays
+    meaningful when the baseline was generated on different hardware
+    (CI runner generations).
     """
     cur, base = _flatten(current), _flatten(baseline)
     regressions: list[Regression] = []
     for key in sorted(set(cur) & set(base)):
+        if dimensionless_only and not key.endswith(_DIMENSIONLESS_SUFFIXES):
+            continue
         b, c = base[key], cur[key]
         if b <= 0:
             continue
@@ -423,6 +515,16 @@ def render_report(report: dict[str, Any]) -> str:
             f"{row['us_per_decision']:.1f} us/decision "
             f"({row['decisions']} decisions, {row['wall_s']:.2f}s)"
         )
+    dis = m.get("disruption")
+    if dis:
+        lines += [
+            "",
+            f"disruption ({dis['scenario']}/{dis['scheduler']} "
+            f"n={dis['n_jobs']}, {dis['n_preemptions']} preemptions):",
+            f"  clean {dis['clean_us_per_decision']:.1f} us/decision vs "
+            f"disrupted {dis['disrupted_us_per_decision']:.1f} us/decision "
+            f"(overhead x{dis['overhead_ratio']:.2f})",
+        ]
     sweep = m["sweep"]
     lines += [
         "",

@@ -26,6 +26,12 @@ from repro.experiments.runner import DEFAULT_SCHEDULERS, run_single
 from repro.experiments.store import RunStore
 from repro.metrics.normalize import normalize_to_baseline
 from repro.schedulers.registry import available_schedulers
+from repro.sim.disruptions import (
+    DISRUPTION_PRESETS,
+    RESTART_POLICIES,
+    DisruptionSpec,
+    get_disruption_preset,
+)
 from repro.workloads.scenarios import SCENARIOS
 
 
@@ -34,6 +40,130 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--scheduler-seed", type=int, default=0, help="scheduler RNG seed"
     )
+
+
+def _add_disruption_args(p: argparse.ArgumentParser) -> None:
+    """Disruption/recovery flags shared by ``run`` and ``matrix``."""
+    g = p.add_argument_group("disruptions")
+    g.add_argument(
+        "--disruptions",
+        metavar="PRESET",
+        default=None,
+        choices=sorted(DISRUPTION_PRESETS),
+        help=(
+            "named disruption regime "
+            f"({', '.join(sorted(DISRUPTION_PRESETS))}); individual "
+            "--mtbf/--drain-* flags override preset fields"
+        ),
+    )
+    g.add_argument(
+        "--mtbf", type=float, default=None,
+        help="per-node mean time between failures (seconds)",
+    )
+    g.add_argument(
+        "--mttr", type=float, default=None,
+        help="mean time to repair a failed node (seconds; default 900)",
+    )
+    g.add_argument(
+        "--failure-model", choices=["exponential", "weibull"], default=None,
+        help="node up-time distribution (default exponential)",
+    )
+    g.add_argument(
+        "--drain-every", type=float, default=None,
+        help="period between maintenance drains (seconds)",
+    )
+    g.add_argument(
+        "--drain-nodes", type=int, default=None,
+        help="nodes taken per drain window",
+    )
+    g.add_argument(
+        "--drain-duration", type=float, default=None,
+        help="drain window length (seconds; default 3600)",
+    )
+    g.add_argument(
+        "--drain-lead", type=float, default=None,
+        help="announcement lead before each drain (seconds; default 1800)",
+    )
+    g.add_argument(
+        "--drain-first", type=float, default=None,
+        help=(
+            "offset of the first drain window (seconds; default 7200 — "
+            "lower it for short workloads or no window will fit the "
+            "horizon)"
+        ),
+    )
+    g.add_argument(
+        "--disruption-seed", type=int, default=None,
+        help="seed for the failure RNG streams (default 0)",
+    )
+    g.add_argument(
+        "--restart-policy",
+        choices=[p.replace("_", "-") for p in RESTART_POLICIES],
+        default="resubmit",
+        help="what killed jobs keep (default resubmit: nothing)",
+    )
+    g.add_argument(
+        "--checkpoint-interval", type=float, default=None,
+        help=(
+            "seconds between periodic checkpoints (required for "
+            "--restart-policy checkpoint)"
+        ),
+    )
+
+
+class DisruptionArgsError(ValueError):
+    """Invalid disruption flag combination (reported as a friendly
+    CLI error, not a traceback)."""
+
+
+def _build_disruption_spec(args) -> Optional[DisruptionSpec]:
+    """Combine a preset with flag overrides; None when undisrupted.
+
+    Raises :class:`DisruptionArgsError` on invalid combinations
+    (e.g. ``--drain-every`` without ``--drain-nodes``, or
+    ``--restart-policy checkpoint`` without ``--checkpoint-interval``).
+    """
+    if (
+        args.restart_policy.replace("-", "_") == "checkpoint"
+        and args.checkpoint_interval is None
+    ):
+        raise DisruptionArgsError(
+            "--restart-policy checkpoint requires --checkpoint-interval"
+        )
+    if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
+        raise DisruptionArgsError("--checkpoint-interval must be positive")
+    base = (
+        get_disruption_preset(args.disruptions)
+        if args.disruptions
+        else DisruptionSpec()
+    )
+    overrides = {}
+    if args.mtbf is not None:
+        overrides["mtbf"] = args.mtbf
+    if args.mttr is not None:
+        overrides["mttr"] = args.mttr
+    if args.failure_model is not None:
+        overrides["failure_model"] = args.failure_model
+    if args.drain_every is not None:
+        overrides["drain_every"] = args.drain_every
+    if args.drain_nodes is not None:
+        overrides["drain_nodes"] = args.drain_nodes
+    if args.drain_duration is not None:
+        overrides["drain_duration"] = args.drain_duration
+    if args.drain_lead is not None:
+        overrides["drain_lead"] = args.drain_lead
+    if args.drain_first is not None:
+        overrides["drain_first"] = args.drain_first
+    if args.disruption_seed is not None:
+        overrides["seed"] = args.disruption_seed
+    if overrides:
+        import dataclasses
+
+        try:
+            base = dataclasses.replace(base, **overrides)
+        except ValueError as exc:
+            raise DisruptionArgsError(str(exc)) from exc
+    return base if base else None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard cap on scheduler queries (default: 200·n_jobs + 1000)",
     )
     _add_common(pr)
+    _add_disruption_args(pr)
 
     pm = sub.add_parser(
         "matrix",
@@ -148,6 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument(
         "--arrival-mode", choices=["scenario", "zero"], default="scenario"
     )
+    _add_disruption_args(pm)
 
     ps = sub.add_parser(
         "report", help="render normalized metrics from a JSONL artifact store"
@@ -190,6 +322,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="relative regression tolerance vs --baseline (default 0.25)",
     )
+    pb.add_argument(
+        "--dimensionless",
+        action="store_true",
+        help=(
+            "compare only dimensionless metrics (speedups and ratios) "
+            "vs --baseline — robust to CI runner hardware changes"
+        ),
+    )
 
     pc = sub.add_parser(
         "compare",
@@ -215,6 +355,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("Schedulers:")
         for name in available_schedulers():
             print(f"  {name}")
+        print("Disruption presets:")
+        for name, dspec in DISRUPTION_PRESETS.items():
+            print(f"  {name:20s} {dspec.signature()}")
         return 0
 
     if args.command == "fig2":
@@ -297,6 +440,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: --resume requires --out", file=sys.stderr)
             return 2
         store = RunStore(args.out) if args.out else None
+        try:
+            disruption_spec = _build_disruption_spec(args)
+        except DisruptionArgsError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        restart_policy = args.restart_policy.replace("-", "_")
 
         def progress(cell, completed, total):
             print(
@@ -314,6 +463,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 workload_seeds=args.seeds,
                 scheduler_seeds=args.scheduler_seeds,
                 arrival_mode=args.arrival_mode,
+                disruptions=disruption_spec,
+                restart_policy=restart_policy,
+                checkpoint_interval=args.checkpoint_interval,
                 workers=args.workers,
                 store=store,
                 resume=args.resume,
@@ -338,6 +490,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workload_seeds=args.seeds,
             scheduler_seeds=args.scheduler_seeds,
             arrival_mode=args.arrival_mode,
+            disruptions=disruption_spec,
+            restart_policy=restart_policy,
+            checkpoint_interval=args.checkpoint_interval,
         )
         if args.resume:
             print(f"resumed: {len(cells) - len(runs)} cells already in "
@@ -372,7 +527,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.baseline:
             baseline = bench.load_report(args.baseline)
             regressions = bench.compare_to_baseline(
-                report_dict, baseline, threshold=args.threshold
+                report_dict,
+                baseline,
+                threshold=args.threshold,
+                dimensionless_only=args.dimensionless,
             )
             gha = bool(os.environ.get("GITHUB_ACTIONS"))
             if regressions:
@@ -401,6 +559,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        try:
+            disruption_spec = _build_disruption_spec(args)
+        except DisruptionArgsError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        restart_policy = args.restart_policy.replace("-", "_")
         run = run_single(
             args.scenario,
             args.n_jobs,
@@ -410,6 +574,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             arrival_mode=args.arrival_mode,
             enforce_walltime=args.enforce_walltime,
             max_decisions=args.max_decisions,
+            disruptions=disruption_spec,
+            restart_policy=restart_policy,
+            checkpoint_interval=args.checkpoint_interval,
         )
         base = run_single(
             args.scenario,
@@ -418,6 +585,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workload_seed=args.seed,
             arrival_mode=args.arrival_mode,
             enforce_walltime=args.enforce_walltime,
+            disruptions=disruption_spec,
+            restart_policy=restart_policy,
+            checkpoint_interval=args.checkpoint_interval,
         )
         block = {
             "fcfs": normalize_to_baseline(base.values, base.values),
@@ -429,6 +599,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{args.scenario}, {args.n_jobs} jobs, {args.scheduler}",
             )
         )
+        if run.disruption_sig != "none":
+            kills = run.result.extras.get("disruption_kills", {})
+            print(
+                f"\ndisruptions [{run.disruption_sig}]: "
+                f"{len(run.result.preemptions)} preemptions "
+                f"(failures={kills.get('failure', 0)}, "
+                f"drains={kills.get('drain', 0)}, "
+                f"voluntary={kills.get('preempt', 0)})"
+            )
         if run.overhead is not None:
             print(f"\nLLM overhead: {run.overhead.latency}")
             print(f"total elapsed (accepted placements): "

@@ -52,7 +52,11 @@ BASELINE = "fcfs"
 
 #: Key of one workload instance inside a sweep:
 #: (scenario, n_jobs, workload_seed, arrival_mode).
-InstanceKey = tuple[str, int, int, str]
+#: (scenario, n_jobs, workload_seed, arrival_mode, disruption_sig) —
+#: the disruption regime is part of the workload-instance identity so
+#: disrupted and undisrupted runs of the same seeds never merge into
+#: one normalized block.
+InstanceKey = tuple[str, int, int, str, str]
 
 
 class RunLike(Protocol):
@@ -89,11 +93,13 @@ def matrix_blocks(
     """
     grouped: dict[InstanceKey, dict[str, list[dict[str, float]]]] = {}
     for run in runs:
+        sig = getattr(run, "disruption_sig", "none")
         key = (
             run.scenario,
             run.n_jobs,
             run.workload_seed,
             getattr(run, "arrival_mode", "scenario"),
+            str(sig),
         )
         grouped.setdefault(key, {}).setdefault(run.scheduler, []).append(
             dict(run.values)

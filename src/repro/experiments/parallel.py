@@ -32,6 +32,7 @@ from repro.experiments.runner import (
     run_single,
 )
 from repro.experiments.store import CellKey, RunStore, cell_key
+from repro.sim.disruptions import DisruptionSpec, disruption_signature
 from repro.workloads.generator import ArrivalMode
 
 #: Progress callback: (cell, completed runs so far, total cells).
@@ -40,7 +41,13 @@ ProgressFn = Callable[["MatrixCell", int, int], None]
 
 @dataclass(frozen=True)
 class MatrixCell:
-    """Identity of one independent simulation in a sweep."""
+    """Identity of one independent simulation in a sweep.
+
+    The disruption fields ride along because a worker must be able to
+    reconstruct the cell bit-for-bit from the cell alone: the spec is
+    frozen/picklable plain data, and the trace it builds depends only
+    on (spec, cluster size, workload) — never on which worker runs it.
+    """
 
     scenario: str
     n_jobs: int
@@ -48,6 +55,9 @@ class MatrixCell:
     workload_seed: int = 0
     scheduler_seed: int = 0
     arrival_mode: ArrivalMode = "scenario"
+    disruptions: Optional[DisruptionSpec] = None
+    restart_policy: str = "resubmit"
+    checkpoint_interval: Optional[float] = None
 
     @property
     def key(self) -> CellKey:
@@ -58,6 +68,11 @@ class MatrixCell:
             self.workload_seed,
             self.scheduler_seed,
             self.arrival_mode,
+            disruption_signature(
+                self.disruptions,
+                self.restart_policy,
+                self.checkpoint_interval,
+            ),
         )
 
 
@@ -69,16 +84,22 @@ def expand_cells(
     workload_seeds: Sequence[int] = (0,),
     scheduler_seeds: Sequence[int] = (0,),
     arrival_mode: ArrivalMode = "scenario",
+    disruptions: Optional[DisruptionSpec] = None,
+    restart_policy: str = "resubmit",
+    checkpoint_interval: Optional[float] = None,
 ) -> list[MatrixCell]:
     """Enumerate the full matrix in canonical (deterministic) order.
 
     Nesting matches :func:`~repro.experiments.runner.run_matrix` —
     scenario → size → scheduler — with seed replication innermost, so a
     single-seed parallel sweep returns runs in exactly the serial
-    order.
+    order. Disruption settings apply uniformly to every cell.
     """
     return [
-        MatrixCell(scenario, n_jobs, scheduler, wseed, sseed, arrival_mode)
+        MatrixCell(
+            scenario, n_jobs, scheduler, wseed, sseed, arrival_mode,
+            disruptions, restart_policy, checkpoint_interval,
+        )
         for scenario in scenarios
         for n_jobs in sizes
         for scheduler in schedulers
@@ -104,6 +125,9 @@ def _execute_cell(cell: MatrixCell) -> ExperimentRun:
         workload_seed=cell.workload_seed,
         scheduler_seed=cell.scheduler_seed,
         arrival_mode=cell.arrival_mode,
+        disruptions=cell.disruptions,
+        restart_policy=cell.restart_policy,
+        checkpoint_interval=cell.checkpoint_interval,
     )
 
 
@@ -197,6 +221,9 @@ def run_matrix_parallel(
     workload_seeds: Sequence[int] = (0,),
     scheduler_seeds: Sequence[int] = (0,),
     arrival_mode: ArrivalMode = "scenario",
+    disruptions: Optional[DisruptionSpec] = None,
+    restart_policy: str = "resubmit",
+    checkpoint_interval: Optional[float] = None,
     workers: Optional[int] = None,
     store: Optional[Union[RunStore, str, Path]] = None,
     resume: bool = False,
@@ -228,6 +255,9 @@ def run_matrix_parallel(
         workload_seeds=workload_seeds,
         scheduler_seeds=scheduler_seeds,
         arrival_mode=arrival_mode,
+        disruptions=disruptions,
+        restart_policy=restart_policy,
+        checkpoint_interval=checkpoint_interval,
     )
     return run_cells(
         cells,

@@ -12,6 +12,7 @@ from typing import Mapping, Sequence
 
 from repro.analysis.stats import BoxStats
 from repro.experiments.runner import OverheadSummary
+from repro.metrics.disruption import DISRUPTION_METRIC_NAMES
 from repro.metrics.objectives import METRIC_NAMES
 
 #: Short column labels for the eight metrics.
@@ -24,6 +25,16 @@ METRIC_LABELS: dict[str, str] = {
     "memory_utilization": "mem_util",
     "wait_fairness": "wait_fair",
     "user_fairness": "user_fair",
+}
+
+#: Labels for the reliability columns disrupted runs add.
+DISRUPTION_LABELS: dict[str, str] = {
+    "goodput_node_hours": "goodput_nh",
+    "wasted_node_hours": "wasted_nh",
+    "goodput_fraction": "goodput%",
+    "n_kills": "kills",
+    "work_lost_per_kill": "lost/kill",
+    "mean_requeue_latency": "requeue_s",
 }
 
 
@@ -55,13 +66,24 @@ def render_normalized_block(
     *,
     suffix: str = "(normalized to FCFS = 1.0)",
 ) -> str:
-    """Render one {scheduler: {metric: normalized}} block."""
-    headers = ["scheduler"] + [METRIC_LABELS[m] for m in METRIC_NAMES]
+    """Render one {scheduler: {metric: normalized}} block.
+
+    Disrupted blocks (rows carrying the reliability objectives) grow
+    the extra goodput/wasted/kill columns; undisrupted blocks render
+    exactly the legacy eight-column table.
+    """
+    columns = list(METRIC_NAMES)
+    labels = dict(METRIC_LABELS)
+    for extra in DISRUPTION_METRIC_NAMES:
+        if any(extra in metrics for metrics in block.values()):
+            columns.append(extra)
+            labels[extra] = DISRUPTION_LABELS[extra]
+    headers = ["scheduler"] + [labels[m] for m in columns]
     rows = []
     for scheduler, metrics in block.items():
         rows.append(
             [scheduler]
-            + [_fmt(metrics.get(m, math.nan)).strip() for m in METRIC_NAMES]
+            + [_fmt(metrics.get(m, math.nan)).strip() for m in columns]
         )
     return f"== {title} {suffix}\n" + format_table(headers, rows)
 
@@ -76,22 +98,24 @@ def render_matrix_blocks(
 
     *blocks* is the output of
     :func:`repro.experiments.figures.matrix_blocks`, keyed by
-    (scenario, n_jobs, workload_seed, arrival_mode). Blocks without an
-    ``fcfs`` baseline carry raw metric values (matrix_blocks leaves
-    them unnormalized), so the header says which it is.
+    (scenario, n_jobs, workload_seed, arrival_mode, disruption_sig).
+    Blocks without an ``fcfs`` baseline carry raw metric values
+    (matrix_blocks leaves them unnormalized), so the header says which
+    it is.
     """
     parts = [
         render_normalized_block(
             block,
             f"{scenario}, {n_jobs} jobs, seed {seed}"
-            + ("" if mode == "scenario" else f", {mode} arrivals"),
+            + ("" if mode == "scenario" else f", {mode} arrivals")
+            + ("" if sig == "none" else f", disruptions [{sig}]"),
             suffix=(
                 "(normalized to FCFS = 1.0)"
                 if "fcfs" in block
                 else "(raw values; no fcfs baseline in sweep)"
             ),
         )
-        for (scenario, n_jobs, seed, mode), block in blocks.items()
+        for (scenario, n_jobs, seed, mode, sig), block in blocks.items()
     ]
     return "\n\n".join(parts)
 

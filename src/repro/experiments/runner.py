@@ -18,6 +18,12 @@ from repro.metrics.objectives import MetricReport, compute_metrics
 from repro.schedulers.registry import create_scheduler
 from repro.experiments.store import CellKey, cell_key
 from repro.sim.cluster import ClusterModel, ResourcePool
+from repro.sim.disruptions import (
+    DisruptionSpec,
+    DisruptionTrace,
+    disruption_signature,
+    estimate_horizon,
+)
 from repro.sim.job import Job
 from repro.sim.schedule import ScheduleResult
 from repro.sim.simulator import HPCSimulator
@@ -90,6 +96,17 @@ class ExperimentRun:
     #: cell identity (a "zero" run is a different experiment than a
     #: "scenario" run of the same seed).
     arrival_mode: str = "scenario"
+    #: Canonical disruption identity (trace config + restart policy);
+    #: "none" for undisrupted cells. Part of the cell identity: the
+    #: same seeds under a different failure regime are a different
+    #: experiment. Named like StoredRun's field (whose ``disruption``
+    #: is the config dict) so consumers see one attribute, one type.
+    disruption_sig: str = "none"
+    #: The spec the cell ran under (None for undisrupted cells);
+    #: serialized into the artifact store's disruption column.
+    disruption_spec: Optional[DisruptionSpec] = None
+    restart_policy: str = "resubmit"
+    checkpoint_interval: Optional[float] = None
 
     @property
     def values(self) -> dict[str, float]:
@@ -105,6 +122,7 @@ class ExperimentRun:
             self.workload_seed,
             self.scheduler_seed,
             self.arrival_mode,
+            self.disruption_sig,
         )
 
 
@@ -121,6 +139,9 @@ def run_single(
     max_retries: int = 3,
     max_decisions: Optional[int] = None,
     enforce_walltime: bool = False,
+    disruptions: Optional[DisruptionSpec] = None,
+    restart_policy: str = "resubmit",
+    checkpoint_interval: Optional[float] = None,
     verify: bool = True,
 ) -> ExperimentRun:
     """Simulate one scenario instance under one scheduler.
@@ -136,6 +157,15 @@ def run_single(
     max_retries / max_decisions / enforce_walltime:
         Forwarded to :class:`HPCSimulator` (retry tolerance, decision
         budget, walltime-kill semantics).
+    disruptions:
+        Optional :class:`~repro.sim.disruptions.DisruptionSpec`; its
+        trace is materialized deterministically from the workload (the
+        horizon estimate depends only on the jobs and cluster size), so
+        the same cell identity always replays the same disruptions —
+        in-process, across processes, serial or parallel.
+    restart_policy / checkpoint_interval:
+        Recovery semantics for killed jobs (see
+        :class:`~repro.sim.simulator.HPCSimulator`).
     verify:
         Re-verify the capacity invariant on the finished schedule.
     """
@@ -145,14 +175,25 @@ def run_single(
         )
     else:
         job_list = list(jobs)
+    the_cluster = cluster if cluster is not None else ResourcePool()
+    trace: Optional[DisruptionTrace] = None
+    spec = disruptions if disruptions else None
+    if spec is not None:
+        trace = spec.build(
+            n_nodes=the_cluster.total_nodes,
+            horizon=estimate_horizon(job_list, the_cluster.total_nodes),
+        )
     sched = create_scheduler(scheduler, seed=scheduler_seed)
     sim = HPCSimulator(
         jobs=job_list,
         scheduler=sched,
-        cluster=cluster if cluster is not None else ResourcePool(),
+        cluster=the_cluster,
         max_retries=max_retries,
         max_decisions=max_decisions,
         enforce_walltime=enforce_walltime,
+        disruptions=trace,
+        restart_policy=restart_policy,
+        checkpoint_interval=checkpoint_interval,
     )
     result = sim.run()
     if verify:
@@ -167,6 +208,12 @@ def run_single(
         metrics=compute_metrics(result),
         overhead=OverheadSummary.from_result(result),
         arrival_mode=arrival_mode,
+        disruption_sig=disruption_signature(
+            spec, restart_policy, checkpoint_interval
+        ),
+        disruption_spec=spec,
+        restart_policy=restart_policy,
+        checkpoint_interval=checkpoint_interval,
     )
 
 
@@ -178,12 +225,16 @@ def run_matrix(
     workload_seed: int = 0,
     scheduler_seed: int = 0,
     arrival_mode: ArrivalMode = "scenario",
+    disruptions: Optional[DisruptionSpec] = None,
+    restart_policy: str = "resubmit",
+    checkpoint_interval: Optional[float] = None,
 ) -> list[ExperimentRun]:
     """Cross product of scenarios × sizes × schedulers.
 
     Workloads are generated once per (scenario, size) so every
     scheduler sees the identical instance — the comparison the paper
-    makes.
+    makes. A disruption spec, when given, applies to every cell (each
+    cell materializes its own deterministic trace).
     """
     runs: list[ExperimentRun] = []
     for scenario in scenarios:
@@ -201,6 +252,9 @@ def run_matrix(
                         scheduler_seed=scheduler_seed,
                         arrival_mode=arrival_mode,
                         jobs=jobs,
+                        disruptions=disruptions,
+                        restart_policy=restart_policy,
+                        checkpoint_interval=checkpoint_interval,
                     )
                 )
     return runs

@@ -31,14 +31,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump when the serialized shape changes incompatibly. Loaders accept
 #: any version up to the current one (older lines keep their shape).
-SCHEMA_VERSION = 1
+#: v2 added the disruption columns (``disruption`` config dict +
+#: ``disruption_sig`` identity string); v1 lines load with both
+#: defaulting to "no disruptions".
+SCHEMA_VERSION = 2
 
 #: Identity of one matrix cell: (scenario, n_jobs, scheduler,
-#: workload_seed, scheduler_seed, arrival_mode). arrival_mode is part
-#: of the identity because the same (scenario, seed) generates a
-#: different workload under "zero" arrivals — resume must not treat
-#: one mode's runs as covering the other.
-CellKey = tuple[str, int, str, int, int, str]
+#: workload_seed, scheduler_seed, arrival_mode, disruption_sig).
+#: arrival_mode is part of the identity because the same (scenario,
+#: seed) generates a different workload under "zero" arrivals, and
+#: disruption_sig because the same workload under a different failure
+#: regime (or restart policy) is a different experiment — resume must
+#: not treat one regime's runs as covering another.
+CellKey = tuple[str, int, str, int, int, str, str]
 
 
 def cell_key(
@@ -48,10 +53,11 @@ def cell_key(
     workload_seed: int,
     scheduler_seed: int,
     arrival_mode: str = "scenario",
+    disruption: str = "none",
 ) -> CellKey:
     """Canonical dictionary/set key for one experiment cell."""
     return (scenario, int(n_jobs), scheduler, int(workload_seed),
-            int(scheduler_seed), str(arrival_mode))
+            int(scheduler_seed), str(arrival_mode), str(disruption))
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,12 @@ class StoredRun:
     decision_summary: dict[str, Any] = field(default_factory=dict)
     #: Flattened ``OverheadSummary`` for LLM schedulers, else ``None``.
     overhead: Optional[dict[str, Any]] = None
+    #: Canonical disruption identity (trace config + restart policy);
+    #: "none" for undisrupted cells and for schema-v1 lines.
+    disruption_sig: str = "none"
+    #: Disruption configuration & outcome columns for disrupted cells
+    #: (spec parameters, restart policy, kill counts), else ``None``.
+    disruption: Optional[dict[str, Any]] = None
     schema_version: int = SCHEMA_VERSION
 
     @property
@@ -87,6 +99,7 @@ class StoredRun:
             self.workload_seed,
             self.scheduler_seed,
             self.arrival_mode,
+            self.disruption_sig,
         )
 
     @property
@@ -119,6 +132,17 @@ class StoredRun:
                 "n_rejected": run.overhead.n_rejected,
                 "latency": asdict(run.overhead.latency),
             }
+        disruption: Optional[dict[str, Any]] = None
+        if run.disruption_spec is not None:
+            disruption = {
+                "spec": run.disruption_spec.as_dict(),
+                "restart_policy": run.restart_policy,
+                "checkpoint_interval": run.checkpoint_interval,
+                "n_preemptions": len(run.result.preemptions),
+                "kills": dict(
+                    run.result.extras.get("disruption_kills", {})
+                ),
+            }
         return cls(
             scenario=run.scenario,
             n_jobs=run.n_jobs,
@@ -129,6 +153,8 @@ class StoredRun:
             metrics=dict(run.metrics.as_dict()),
             decision_summary=summary,
             overhead=overhead,
+            disruption_sig=run.disruption_sig,
+            disruption=disruption,
         )
 
     # -- (de)serialization ----------------------------------------------
@@ -166,6 +192,8 @@ class StoredRun:
                 arrival_mode=str(payload.get("arrival_mode", "scenario")),
                 decision_summary=dict(payload.get("decision_summary", {})),
                 overhead=payload.get("overhead"),
+                disruption_sig=str(payload.get("disruption_sig", "none")),
+                disruption=payload.get("disruption"),
                 schema_version=version,
             )
         except (KeyError, TypeError, AttributeError) as exc:

@@ -9,6 +9,15 @@ All computations are numpy-vectorized over the
 :meth:`~repro.sim.schedule.ScheduleResult.to_arrays` view.
 """
 
+from repro.metrics.disruption import (
+    DISRUPTION_METRIC_NAMES,
+    disruption_metrics,
+    goodput_fraction,
+    goodput_node_hours,
+    mean_requeue_latency,
+    wasted_node_hours,
+    work_lost_per_kill,
+)
 from repro.metrics.energy import (
     EnergyReport,
     PowerModel,
@@ -36,6 +45,7 @@ from repro.metrics.objectives import (
 )
 
 __all__ = [
+    "DISRUPTION_METRIC_NAMES",
     "EnergyReport",
     "HIGHER_BETTER",
     "LOWER_BETTER",
@@ -43,16 +53,22 @@ __all__ = [
     "MetricReport",
     "PowerModel",
     "compare_energy",
+    "disruption_metrics",
     "energy_report",
     "average_turnaround_time",
     "average_wait_time",
     "compute_metrics",
+    "goodput_fraction",
+    "goodput_node_hours",
     "jain_index",
     "makespan",
+    "mean_requeue_latency",
     "memory_utilization",
     "node_utilization",
     "normalize_to_baseline",
     "per_job_fairness",
     "per_user_fairness",
     "throughput",
+    "wasted_node_hours",
+    "work_lost_per_kill",
 ]

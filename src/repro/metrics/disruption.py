@@ -1,0 +1,120 @@
+"""Reliability objectives for disrupted runs.
+
+Complements the paper's §3.2 objectives (which measure a perfectly
+reliable cluster) with the quantities that matter once failures and
+drains exist — steady state is where schedulers look similar, recovery
+is where they differentiate:
+
+* **goodput / wasted node-hours** — node-time that ended up in
+  completed work vs. node-time executed and then thrown away by kills
+  (work past the last checkpoint is re-done on restart);
+* **goodput fraction** — goodput / (goodput + wasted), the
+  dimensionless efficiency of the recovery path;
+* **work lost per kill** — mean node-seconds discarded per involuntary
+  kill (failure or drain eviction; voluntary ``PreemptJob`` suspends
+  are clean and excluded);
+* **requeue latency** — mean seconds a killed job waited between its
+  eviction and its restart.
+
+These are computed from the :class:`~repro.sim.schedule.ScheduleResult`
+preemption log and appear in :func:`~repro.metrics.objectives.compute_metrics`
+output only for disrupted runs, so undisrupted reports/stores remain
+byte-identical to the pre-disruption code.
+"""
+
+from __future__ import annotations
+
+from repro.sim.schedule import ScheduleResult
+
+#: Extra metric columns disrupted runs report, in display order.
+DISRUPTION_METRIC_NAMES: tuple[str, ...] = (
+    "goodput_node_hours",
+    "wasted_node_hours",
+    "goodput_fraction",
+    "n_kills",
+    "work_lost_per_kill",
+    "mean_requeue_latency",
+)
+
+#: Preemption reasons that count as involuntary kills.
+INVOLUNTARY_REASONS: tuple[str, ...] = ("failure", "drain")
+
+
+def goodput_node_hours(result: ScheduleResult) -> float:
+    """Node-hours of *useful* (committed) work.
+
+    Each record's final attempt span is work kept, and every
+    checkpointed chunk a preemption preserved was kept too — together
+    they sum to each job's true duration, so goodput is independent of
+    how often a job was bounced around.
+    """
+    useful = sum(
+        rec.job.nodes * (rec.end_time - rec.start_time)
+        for rec in result.records
+    )
+    useful += sum(p.nodes * p.work_saved for p in result.preemptions)
+    return useful / 3600.0
+
+
+def wasted_node_hours(result: ScheduleResult) -> float:
+    """Node-hours executed and then discarded by kills (work done
+    since the last checkpoint when the node died / the drain hit)."""
+    return sum(p.lost_node_seconds for p in result.preemptions) / 3600.0
+
+
+def goodput_fraction(result: ScheduleResult) -> float:
+    """Useful work over total work executed, in (0, 1]."""
+    good = goodput_node_hours(result)
+    waste = wasted_node_hours(result)
+    total = good + waste
+    if total <= 0.0:
+        return 1.0
+    return good / total
+
+
+def work_lost_per_kill(result: ScheduleResult) -> float:
+    """Mean node-seconds discarded per involuntary kill."""
+    involuntary = [
+        p for p in result.preemptions if p.reason in INVOLUNTARY_REASONS
+    ]
+    if not involuntary:
+        return 0.0
+    return sum(p.lost_node_seconds for p in involuntary) / len(involuntary)
+
+
+def mean_requeue_latency(result: ScheduleResult) -> float:
+    """Mean seconds between an involuntary kill and the victim's
+    restart.
+
+    Voluntary ``PreemptJob`` suspensions are excluded (matching
+    ``n_kills``/``work_lost_per_kill``): they restart on the policy's
+    own schedule and would dilute the involuntary-recovery latency
+    this metric exists to compare across restart policies.
+    """
+    latencies = [
+        p.requeue_latency
+        for p in result.preemptions
+        if p.requeue_latency is not None
+        and p.reason in INVOLUNTARY_REASONS
+    ]
+    if not latencies:
+        return 0.0
+    return float(sum(latencies) / len(latencies))
+
+
+def disruption_metrics(result: ScheduleResult) -> dict[str, float]:
+    """All reliability objectives for one (disrupted) schedule."""
+    return {
+        "goodput_node_hours": goodput_node_hours(result),
+        "wasted_node_hours": wasted_node_hours(result),
+        "goodput_fraction": goodput_fraction(result),
+        "n_kills": float(
+            sum(
+                1
+                for p in result.preemptions
+                if p.reason in INVOLUNTARY_REASONS
+            )
+        ),
+        "work_lost_per_kill": work_lost_per_kill(result),
+        "mean_requeue_latency": mean_requeue_latency(result),
+    }

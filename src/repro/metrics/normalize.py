@@ -18,7 +18,16 @@ from typing import Mapping
 
 #: Metrics where lower values are better.
 LOWER_BETTER: frozenset[str] = frozenset(
-    {"makespan", "avg_wait_time", "avg_turnaround_time"}
+    {
+        "makespan",
+        "avg_wait_time",
+        "avg_turnaround_time",
+        # Reliability objectives (disrupted runs only).
+        "wasted_node_hours",
+        "n_kills",
+        "work_lost_per_kill",
+        "mean_requeue_latency",
+    }
 )
 
 #: Metrics where higher values are better.
@@ -29,6 +38,9 @@ HIGHER_BETTER: frozenset[str] = frozenset(
         "memory_utilization",
         "wait_fairness",
         "user_fairness",
+        # Reliability objectives (disrupted runs only).
+        "goodput_node_hours",
+        "goodput_fraction",
     }
 )
 

@@ -129,7 +129,14 @@ class MetricReport:
 
 
 def compute_metrics(result: ScheduleResult) -> MetricReport:
-    """Compute every §3.2 objective for a finished schedule."""
+    """Compute every §3.2 objective for a finished schedule.
+
+    Runs executed under a disruption trace additionally report the
+    reliability objectives of :mod:`repro.metrics.disruption`
+    (goodput/wasted node-hours, work lost per kill, requeue latency);
+    undisrupted runs keep the exact legacy metric set so existing
+    reports and stored artifacts stay byte-identical.
+    """
     arrays = result.to_arrays()
     values = {
         "makespan": makespan(arrays),
@@ -143,6 +150,15 @@ def compute_metrics(result: ScheduleResult) -> MetricReport:
         "wait_fairness": per_job_fairness(arrays),
         "user_fairness": per_user_fairness(arrays),
     }
+    # Gate on ``disrupted`` alone (not on preemptions): a voluntary
+    # PreemptJob during an undisrupted run must not grow this run's
+    # metric keys past its sig="none" baselines, or normalization
+    # against them would KeyError. The preemption log itself stays
+    # available on the result for direct consumers.
+    if result.disrupted:
+        from repro.metrics.disruption import disruption_metrics
+
+        values.update(disruption_metrics(result))
     return MetricReport(
         scheduler_name=result.scheduler_name,
         n_jobs=result.n_jobs,

@@ -17,6 +17,7 @@ cannot push that reservation back.
 from __future__ import annotations
 
 from itertools import islice
+from typing import Sequence
 
 from repro.schedulers.base import BaseScheduler
 from repro.sim.actions import Action, BackfillJob, Delay, StartJob
@@ -49,13 +50,21 @@ def head_reservation(
     that remain free at the shadow time beyond what *head* needs —
     backfilled work small enough to fit in the extras can run past the
     shadow time without delaying the head job.
+
+    When *running* is the view's own running set, the traversal uses
+    the simulator-maintained completion-ordered index
+    (:meth:`SystemView.running_by_walltime_end`) instead of re-sorting
+    on every blocked decision.
     """
     free_nodes = view.free_nodes
     free_mem = view.free_memory_gb
     shadow = view.now
-    releases = sorted(
-        running, key=lambda r: r.start_time + r.job.walltime
-    )
+    if running is view.running:
+        releases: Sequence[RunningJob] = view.running_by_walltime_end()
+    else:
+        releases = sorted(
+            running, key=lambda r: r.start_time + r.job.walltime
+        )
     for run in releases:
         if free_nodes >= head.nodes and free_mem >= head.memory_gb - 1e-9:
             break
@@ -69,13 +78,20 @@ def head_reservation(
 
 
 class EasyBackfillScheduler(BaseScheduler):
-    """FCFS with EASY (aggressive) backfilling.
+    """FCFS with EASY (aggressive) backfilling, drain-aware.
 
     A queued job *j* may backfill iff it fits right now and either
 
     * it finishes (by walltime) before the head job's reservation, or
     * it only consumes resources the head job will not need at its
       reservation time.
+
+    Recovery awareness: no job (head or backfill) is started across an
+    announced maintenance drain it might not survive
+    (:meth:`SystemView.drain_safe` — vacuously true on undisrupted
+    runs, so the policy is byte-identical to plain EASY there). A
+    drain-blocked head is treated like a capacity-blocked one:
+    shorter/safer jobs may still backfill around it.
     """
 
     name = "fcfs_backfill"
@@ -84,15 +100,29 @@ class EasyBackfillScheduler(BaseScheduler):
         if not view.queued:
             return Delay
         head = view.queued[0]
-        if view.can_fit(head):
+        head_fits = view.can_fit(head)
+        if head_fits and view.drain_safe(head):
             return StartJob(head.job_id)
-        shadow, extra_nodes, extra_mem = head_reservation(
-            head, view.running, view
-        )
+        if head_fits:
+            # Drain-parked head: it could start right now, so its
+            # reservation is the earliest drain-safe time (typically
+            # the blocking window's end), and the resources it will
+            # take then are exactly its own request. Short jobs ending
+            # before that shadow may borrow the head's share — without
+            # this, head_reservation would return shadow == now
+            # (the head "fits immediately") and the backfill window
+            # would collapse for the whole announce lead + window.
+            shadow = view.earliest_drain_safe_start(head)
+            extra_nodes = view.free_nodes - head.nodes
+            extra_mem = view.free_memory_gb - head.memory_gb
+        else:
+            shadow, extra_nodes, extra_mem = head_reservation(
+                head, view.running, view
+            )
         # islice avoids copying the (possibly long) queue tuple per
         # decision just to skip the head.
         for job in islice(view.queued, 1, None):
-            if not view.can_fit(job):
+            if not view.can_fit(job) or not view.drain_safe(job):
                 continue
             ends_before_shadow = view.now + job.walltime <= shadow + 1e-9
             fits_in_extras = (

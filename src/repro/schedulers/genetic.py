@@ -18,6 +18,7 @@ swaps two positions. Elitism preserves the best chromosome.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -30,6 +31,7 @@ from repro.schedulers.packing import (
     plan_makespan,
     plan_total_completion,
 )
+from repro.schedulers.recovery import effective_jobs, split_unpackable
 from repro.sim.actions import Action, Delay, StartJob
 from repro.sim.job import Job
 from repro.sim.simulator import SystemView
@@ -102,6 +104,9 @@ class GeneticOptimizer(BaseScheduler):
         super().reset()
         self._rng = np.random.default_rng(self._seed)
         self._planned_ids: set[int] = set()
+        #: Jobs this plan already started; one reappearing in the queue
+        #: was killed and requeued (disruptions) — replan.
+        self._consumed: set[int] = set()
         self._plan: list[PackedJob] = []
         self._plan_pos = 0
         self.generations_run = 0
@@ -141,8 +146,12 @@ class GeneticOptimizer(BaseScheduler):
     def _pack(self, order: list[Job], view: SystemView) -> list[PackedJob]:
         return self._packer(view).pack(order)
 
-    def _evolve(self, view: SystemView) -> list[Job]:
-        jobs = list(view.queued)
+    def _evolve_subset(
+        self, jobs: list[Job], view: SystemView
+    ) -> list[Job]:
+        # Checkpoint-restarted jobs plan with their remaining runtime
+        # (no-op mapping on undisrupted runs).
+        jobs = effective_jobs(view, jobs)
         by_id = {j.job_id: j for j in jobs}
         ids = [j.job_id for j in jobs]
         cfg = self.config
@@ -195,15 +204,32 @@ class GeneticOptimizer(BaseScheduler):
     # -- SchedulerProtocol -------------------------------------------------
     def decide(self, view: SystemView) -> Action:
         queued_ids = {j.job_id for j in view.queued}
-        if queued_ids - self._planned_ids:
-            if view.queued:
-                order = self._evolve(view)
+        if queued_ids - self._planned_ids or not self._consumed.isdisjoint(
+            queued_ids
+        ):
+            self._consumed.clear()
+            # Jobs exceeding the eventually-available capacity (nodes
+            # failed and not yet repaired) cannot pack; plan them at
+            # +inf so they wait for repairs instead of crashing the GA.
+            plannable, unpackable = split_unpackable(
+                view,
+                list(view.queued),
+                [
+                    (run.expected_end, run.job.nodes, run.job.memory_gb)
+                    for run in view.running
+                ],
+            )
+            if plannable:
+                order = self._evolve_subset(plannable, view)
                 final = self._pack(order, view)
                 self._plan = sorted(
                     final, key=lambda p: (p.start, p.job.job_id)
                 )
             else:
                 self._plan = []
+            self._plan.extend(
+                PackedJob(j, math.inf) for j in unpackable
+            )
             self._plan_pos = 0
             self._planned_ids = set(queued_ids)
 
@@ -218,6 +244,7 @@ class GeneticOptimizer(BaseScheduler):
         job = view.queued_job(head.job.job_id)
         if job is not None and view.can_fit(job):
             self._plan_pos = pos + 1
+            self._consumed.add(job.job_id)
             return StartJob(job.job_id)
         return Delay
 

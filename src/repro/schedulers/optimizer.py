@@ -39,6 +39,7 @@ from repro.schedulers.packing import (
     plan_makespan,
     plan_total_completion,
 )
+from repro.schedulers.recovery import effective_jobs, split_unpackable
 from repro.sim.actions import Action, Delay, StartJob
 from repro.sim.simulator import SystemView
 
@@ -114,6 +115,10 @@ class AnnealingOptimizer(BaseScheduler):
         self.use_incremental = use_incremental
         self._rng = np.random.default_rng(seed)
         self._planned_ids: set[int] = set()
+        #: Jobs this plan already started; one of them reappearing in
+        #: the queue means it was killed and requeued (disruptions) —
+        #: the plan is stale and must be rebuilt.
+        self._consumed: set[int] = set()
         self._plan: list[PackedJob] = []
         self._plan_pos = 0
         self._stats: list[PlanStatistics] = []
@@ -122,6 +127,7 @@ class AnnealingOptimizer(BaseScheduler):
         super().reset()
         self._rng = np.random.default_rng(self._seed)
         self._planned_ids = set()
+        self._consumed = set()
         self._plan = []
         self._plan_pos = 0
         self._stats = []
@@ -144,10 +150,38 @@ class AnnealingOptimizer(BaseScheduler):
             self._planned_ids = set()
             return
 
+        # Checkpoint-restarted jobs plan with their remaining runtime
+        # (no-op mapping on undisrupted runs — bit-identical planning).
+        jobs = effective_jobs(view, jobs)
+
         releases = [
             (run.expected_end, run.job.nodes, run.job.memory_gb)
             for run in view.running
         ]
+        # Recovery awareness: announced maintenance drains enter the
+        # packing profile as capacity notches — a negative release at
+        # the drain start and a restoring one at its end — so the
+        # annealer's earliest-fit search steers long jobs around the
+        # window instead of placing work it would lose. Windows already
+        # in progress are missing from free capacity; only their
+        # restoration is modeled.
+        mem_share = view.node_memory_share
+        for d in view.upcoming_drains:
+            d_mem = d.nodes * mem_share
+            if d.start > view.now:
+                releases.append((d.start, -d.nodes, -d_mem))
+            releases.append((d.end, d.nodes, d_mem))
+
+        # Jobs exceeding the profile's eventual capacity (nodes failed
+        # and not repaired within the plan) are parked at +inf — tried
+        # last, held until repairs — instead of crashing the packer.
+        jobs, unpackable = split_unpackable(view, jobs, releases)
+        n = len(jobs)
+        if n == 0 and unpackable:
+            self._plan = [PackedJob(j, math.inf) for j in unpackable]
+            self._plan_pos = 0
+            self._planned_ids = {j.job_id for j in unpackable}
+            return
         if self.use_incremental:
             packer = IncrementalPacker(
                 now=view.now,
@@ -212,8 +246,10 @@ class AnnealingOptimizer(BaseScheduler):
                 temp *= self.config.cooling
 
         final = pack_full(best_order)
-        # Execute in planned start-time order.
+        # Execute in planned start-time order; capacity-starved jobs
+        # (failed nodes) trail the plan until repairs let them fit.
         self._plan = sorted(final, key=lambda p: (p.start, p.job.job_id))
+        self._plan.extend(PackedJob(j, math.inf) for j in unpackable)
         self._plan_pos = 0
         self._planned_ids = {p.job.job_id for p in self._plan}
         self._stats.append(
@@ -229,8 +265,11 @@ class AnnealingOptimizer(BaseScheduler):
     # -- SchedulerProtocol -------------------------------------------------
     def decide(self, view: SystemView) -> Action:
         queued_ids = {j.job_id for j in view.queued}
-        if queued_ids - self._planned_ids:
+        if queued_ids - self._planned_ids or not self._consumed.isdisjoint(
+            queued_ids
+        ):
             self._replan(view)
+            self._consumed.clear()
 
         # Skip placements for jobs no longer queued (already started);
         # an index cursor replaces the old O(n) list.pop(0).
@@ -243,8 +282,13 @@ class AnnealingOptimizer(BaseScheduler):
             return Delay
         head = plan[pos]
         job = view.queued_job(head.job.job_id)
-        if job is not None and view.can_fit(job):
+        # drain_safe: even if the plan's head fits right now, don't
+        # start it across an announced drain it might not survive —
+        # the packed plan deliberately parked such jobs after the
+        # window. Vacuously true on undisrupted runs.
+        if job is not None and view.can_fit(job) and view.drain_safe(job):
             self._plan_pos = pos + 1
+            self._consumed.add(job.job_id)
             self._set_meta(planned_start=head.start)
             return StartJob(job.job_id)
         return Delay

@@ -1,0 +1,64 @@
+"""Shared recovery-aware planning helpers for the plan-based
+optimizers (annealer, GA).
+
+Both optimizers decode job-priority permutations against the packing
+model; under disruptions they need the same two adjustments before
+packing, factored here so the logic cannot drift between them:
+
+* :func:`effective_jobs` — checkpoint-restarted jobs only have their
+  *remaining* runtime left; plan with that instead of the original
+  duration. On undisrupted runs the mapping is empty and the original
+  ``Job`` objects pass through untouched (bit-identical planning).
+* :func:`split_unpackable` — with nodes failed (offline and not
+  restored by any release in the planning horizon) a job can exceed
+  the profile's eventual capacity and would never pack; such jobs are
+  parked (planned at ``+inf``) until repairs restore capacity instead
+  of crashing the packer. Skipped entirely on healthy clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from repro.sim.job import Job
+from repro.sim.simulator import SystemView
+
+
+def effective_jobs(view: SystemView, jobs: Sequence[Job]) -> list[Job]:
+    """Remap *jobs* to their remaining runtimes (no-op when none)."""
+    rem = view.remaining_runtimes
+    if not rem:
+        return list(jobs)
+    return [
+        replace(j, duration=rem[j.job_id]) if j.job_id in rem else j
+        for j in jobs
+    ]
+
+
+def split_unpackable(
+    view: SystemView,
+    jobs: Sequence[Job],
+    releases: Iterable[tuple[float, float, float]],
+) -> tuple[list[Job], list[Job]]:
+    """Split *jobs* into (packable, unpackable) against the eventual
+    capacity of a planning profile built from *releases*.
+
+    *releases* is whatever ``(time, nodes, memory_gb)`` stream the
+    caller packs with — running-job completions, plus drain notches
+    for drain-aware planners. Eventual capacity is current free plus
+    every delta; node capacity is non-decreasing outside drain notches,
+    so a job fits some interval iff it fits the eventual capacity.
+    """
+    if view.nodes_offline <= 0:
+        return list(jobs), []
+    eventual_nodes = view.free_nodes + sum(r[1] for r in releases)
+    eventual_mem = view.free_memory_gb + sum(r[2] for r in releases)
+    packable: list[Job] = []
+    unpackable: list[Job] = []
+    for j in jobs:
+        if j.nodes <= eventual_nodes and j.memory_gb <= eventual_mem + 1e-9:
+            packable.append(j)
+        else:
+            unpackable.append(j)
+    return packable, unpackable

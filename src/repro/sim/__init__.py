@@ -22,10 +22,18 @@ Public surface
     scheduler together and produces a :class:`~repro.sim.schedule.ScheduleResult`.
 :mod:`~repro.sim.actions`
     The action vocabulary shared by every scheduler
-    (``StartJob`` / ``BackfillJob`` / ``Delay`` / ``Stop``).
+    (``StartJob`` / ``BackfillJob`` / ``PreemptJob`` / ``Delay`` /
+    ``Stop``).
 :class:`~repro.sim.constraints.ConstraintChecker`
     Structured feasibility validation; the natural-language rendering
     used for LLM feedback lives in :mod:`repro.core.constraints`.
+:mod:`~repro.sim.disruptions`
+    The fault & disruption subsystem: seeded node-failure traces,
+    maintenance drain windows, restart policies
+    (resubmit/checkpoint/preempt-migrate), and the preemption records
+    the reliability metrics consume. An empty
+    :class:`~repro.sim.disruptions.DisruptionTrace` leaves the engine
+    byte-identical to the undisrupted code path.
 """
 
 from repro.sim.actions import (
@@ -33,11 +41,24 @@ from repro.sim.actions import (
     ActionKind,
     BackfillJob,
     Delay,
+    PreemptJob,
     StartJob,
     Stop,
 )
 from repro.sim.cluster import ClusterModel, NodeLevelCluster, ResourcePool
 from repro.sim.constraints import ConstraintChecker, Violation, ViolationKind
+from repro.sim.disruptions import (
+    DISRUPTION_PRESETS,
+    DisruptionSpec,
+    DisruptionTrace,
+    DrainWindow,
+    NodeFailure,
+    PreemptionRecord,
+    RESTART_POLICIES,
+    exponential_failures,
+    periodic_drains,
+    weibull_failures,
+)
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.job import Job, JobState
 from repro.sim.schedule import DecisionRecord, JobRecord, ScheduleResult
@@ -49,8 +70,12 @@ __all__ = [
     "BackfillJob",
     "ClusterModel",
     "ConstraintChecker",
+    "DISRUPTION_PRESETS",
     "DecisionRecord",
     "Delay",
+    "DisruptionSpec",
+    "DisruptionTrace",
+    "DrainWindow",
     "Event",
     "EventKind",
     "EventQueue",
@@ -58,7 +83,11 @@ __all__ = [
     "Job",
     "JobRecord",
     "JobState",
+    "NodeFailure",
     "NodeLevelCluster",
+    "PreemptJob",
+    "PreemptionRecord",
+    "RESTART_POLICIES",
     "ResourcePool",
     "ScheduleResult",
     "StartJob",
@@ -66,4 +95,7 @@ __all__ = [
     "SystemView",
     "Violation",
     "ViolationKind",
+    "exponential_failures",
+    "periodic_drains",
+    "weibull_failures",
 ]

@@ -16,7 +16,7 @@ memory evenly across their nodes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -83,6 +83,11 @@ class ResourcePool:
     _allocations: dict[int, tuple[int, float]] = field(
         init=False, default_factory=dict
     )
+    #: Nodes currently out of service (failed or draining); each holds
+    #: back one node and an even memory share from the free pool.
+    _offline_nodes: int = field(init=False, default=0)
+    #: Nodes held per active drain tag (see :meth:`drain_take_idle`).
+    _drain_tags: dict[str, int] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.total_nodes <= 0:
@@ -91,6 +96,11 @@ class ResourcePool:
             raise ValueError("total_memory_gb must be positive")
         self._free_nodes = self.total_nodes
         self._free_memory_gb = float(self.total_memory_gb)
+
+    @property
+    def _node_memory_share(self) -> float:
+        """Memory an offline node withholds: the even per-node share."""
+        return self.total_memory_gb / self.total_nodes
 
     # -- feasibility ---------------------------------------------------
     def can_fit(self, job: Job) -> bool:
@@ -137,6 +147,76 @@ class ResourcePool:
         self._allocations.clear()
         self._free_nodes = self.total_nodes
         self._free_memory_gb = float(self.total_memory_gb)
+        self._offline_nodes = 0
+        self._drain_tags.clear()
+
+    # -- disruptions -----------------------------------------------------
+    # The aggregate model has no node identity, so disruptions operate
+    # on *occupancy slots*: running allocations are laid out
+    # contiguously over [0, used_nodes) in allocation order, and idle
+    # capacity occupies the rest. A failure at slot index i therefore
+    # kills the job holding slot i — or an idle node when i falls past
+    # the busy region. Free memory can transiently go (slightly)
+    # negative when a failure strikes a memory-saturated cluster; every
+    # feasibility comparison treats that as "nothing fits", and the
+    # books balance exactly on repair.
+
+    def slot_victim(self, node_index: int) -> Optional[int]:
+        """Job occupying occupancy slot *node_index*, or ``None`` if the
+        slot is idle/offline. Deterministic: allocation (insertion)
+        order, which the simulator replays identically under a seed."""
+        offset = 0
+        for job_id, (nodes, _mem) in self._allocations.items():
+            if offset <= node_index < offset + nodes:
+                return job_id
+            offset += nodes
+        return None
+
+    def mark_failed(self, node_index: int) -> bool:
+        """Take one (idle) node offline for a failure. Returns False —
+        a no-op — when every non-busy node is already offline (the
+        abstract slot pointed at a node that is already down); the
+        caller must then skip the paired repair too."""
+        if self._free_nodes < 1:
+            return False
+        self._free_nodes -= 1
+        self._free_memory_gb -= self._node_memory_share
+        self._offline_nodes += 1
+        return True
+
+    def mark_repaired(self, node_index: int) -> None:
+        """Bring a failed node back into service."""
+        if self._offline_nodes < 1:
+            raise AllocationError("repair with no offline nodes")
+        self._offline_nodes -= 1
+        self._free_nodes += 1
+        self._free_memory_gb += self._node_memory_share
+
+    def drain_take_idle(self, tag: str) -> bool:
+        """Drain one idle node under *tag*; False if none is idle
+        (the simulator must kill a running job first — see
+        :meth:`drain_victim`)."""
+        if self._free_nodes < 1:
+            return False
+        self._free_nodes -= 1
+        self._free_memory_gb -= self._node_memory_share
+        self._offline_nodes += 1
+        self._drain_tags[tag] = self._drain_tags.get(tag, 0) + 1
+        return True
+
+    def drain_victim(self) -> Optional[int]:
+        """Job to preempt so a drain can proceed: the most recently
+        started allocation (the "top" of the slot layout)."""
+        if not self._allocations:
+            return None
+        return next(reversed(self._allocations))
+
+    def drain_release(self, tag: str) -> None:
+        """End a drain: every node taken under *tag* returns."""
+        count = self._drain_tags.pop(tag, 0)
+        self._offline_nodes -= count
+        self._free_nodes += count
+        self._free_memory_gb += count * self._node_memory_share
 
     # -- introspection ---------------------------------------------------
     @property
@@ -146,6 +226,11 @@ class ResourcePool:
     @property
     def free_memory_gb(self) -> float:
         return self._free_memory_gb
+
+    @property
+    def offline_nodes(self) -> int:
+        """Nodes currently failed or draining."""
+        return self._offline_nodes
 
     @property
     def used_nodes(self) -> int:
@@ -198,6 +283,12 @@ class NodeLevelCluster:
     memory_per_node_gb: float = 8.0
     _node_free_mem: np.ndarray = field(init=False, repr=False)
     _node_owner: np.ndarray = field(init=False, repr=False)
+    #: Per-node out-of-service flag (failed or draining); offline nodes
+    #: are excluded from placement candidates and aggregate capacity.
+    _node_offline: np.ndarray = field(init=False, repr=False)
+    _drain_tags: dict[str, list[int]] = field(
+        init=False, default_factory=dict, repr=False
+    )
     _placements: dict[int, tuple[np.ndarray, float]] = field(
         init=False, default_factory=dict, repr=False
     )
@@ -218,6 +309,7 @@ class NodeLevelCluster:
             self.node_count, float(self.memory_per_node_gb)
         )
         self._node_owner = np.full(self.node_count, -1, dtype=np.int64)
+        self._node_offline = np.zeros(self.node_count, dtype=bool)
 
     # Aggregate capacity view (ClusterModel protocol).
     @property
@@ -231,7 +323,7 @@ class NodeLevelCluster:
     def _aggregates(self) -> tuple[int, float]:
         agg = self._agg_cache
         if agg is None:
-            free = self._node_owner < 0
+            free = (self._node_owner < 0) & ~self._node_offline
             agg = (
                 int(free.sum()),
                 float(self._node_free_mem[free].sum()),
@@ -249,7 +341,7 @@ class NodeLevelCluster:
 
     def _candidate_nodes(self, job: Job) -> np.ndarray | None:
         per_node_mem = job.memory_gb / job.nodes
-        free = self._node_owner < 0
+        free = (self._node_owner < 0) & ~self._node_offline
         enough = self._node_free_mem >= per_node_mem - 1e-9
         eligible = np.flatnonzero(free & enough)
         if eligible.size < job.nodes:
@@ -295,7 +387,72 @@ class NodeLevelCluster:
         self._placements.clear()
         self._node_free_mem[:] = self.memory_per_node_gb
         self._node_owner[:] = -1
+        self._node_offline[:] = False
+        self._drain_tags.clear()
         self._agg_cache = None
+
+    # -- disruptions -----------------------------------------------------
+    # Unlike the aggregate pool, nodes have identity here: failures hit
+    # the actual node index and drains take the highest-indexed online
+    # nodes (idle ones first), killing owners only when necessary.
+
+    def slot_victim(self, node_index: int) -> Optional[int]:
+        """Job owning node *node_index* (``None`` if idle or offline)."""
+        if not 0 <= node_index < self.node_count:
+            return None
+        if self._node_offline[node_index]:
+            return None
+        owner = int(self._node_owner[node_index])
+        return owner if owner >= 0 else None
+
+    def mark_failed(self, node_index: int) -> bool:
+        """Take node *node_index* offline; the owner (if any) must have
+        been killed/released first. False if it is already offline."""
+        if not 0 <= node_index < self.node_count:
+            return False
+        if self._node_offline[node_index]:
+            return False
+        if self._node_owner[node_index] >= 0:
+            raise AllocationError(
+                f"node {node_index} still owned by job "
+                f"{int(self._node_owner[node_index])}; kill it first"
+            )
+        self._node_offline[node_index] = True
+        self._agg_cache = None
+        return True
+
+    def mark_repaired(self, node_index: int) -> None:
+        self._node_offline[node_index] = False
+        self._agg_cache = None
+
+    def drain_take_idle(self, tag: str) -> bool:
+        """Drain the highest-indexed idle online node under *tag*."""
+        idle = (self._node_owner < 0) & ~self._node_offline
+        candidates = np.flatnonzero(idle)
+        if candidates.size == 0:
+            return False
+        node = int(candidates[-1])
+        self._node_offline[node] = True
+        self._drain_tags.setdefault(tag, []).append(node)
+        self._agg_cache = None
+        return True
+
+    def drain_victim(self) -> Optional[int]:
+        """Owner of the highest-indexed occupied online node."""
+        occupied = (self._node_owner >= 0) & ~self._node_offline
+        candidates = np.flatnonzero(occupied)
+        if candidates.size == 0:
+            return None
+        return int(self._node_owner[int(candidates[-1])])
+
+    def drain_release(self, tag: str) -> None:
+        for node in self._drain_tags.pop(tag, ()):
+            self._node_offline[node] = False
+        self._agg_cache = None
+
+    @property
+    def offline_nodes(self) -> int:
+        return int(self._node_offline.sum())
 
     @property
     def used_nodes(self) -> int:

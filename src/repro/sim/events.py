@@ -1,10 +1,12 @@
 """Event queue for the discrete event simulator.
 
 The simulator advances time only at *events* (paper §3.1): job arrivals
-and job completions. Events at the same timestamp are ordered
-completions-before-arrivals (resources freed by a completion are visible
-to a job arriving at the same instant) and ties beyond that break by
-insertion sequence, giving a fully deterministic replay.
+and job completions, plus — with a disruption trace attached — node
+failures/repairs and maintenance drains. Events at the same timestamp
+fire in a pinned kind order (see :class:`EventKind`): capacity is
+released before it is removed, disruptions strike before same-instant
+arrivals see the cluster, and ties beyond that break by insertion
+sequence, giving a fully deterministic replay.
 """
 
 from __future__ import annotations
@@ -18,12 +20,36 @@ from typing import Optional
 
 class EventKind(enum.IntEnum):
     """Kinds of simulator events; the integer value is the tie-break
-    priority at equal timestamps (lower fires first)."""
+    priority at equal timestamps (lower fires first).
+
+    The order encodes the same-instant semantics the disruption
+    subsystem depends on: completions and capacity *restorations*
+    (repair, drain end) apply first, then capacity *removals* (failure,
+    drain start), then announcements, and arrivals always observe the
+    fully-disrupted cluster. In particular failure-before-arrival is
+    pinned: a job arriving at the exact instant a node dies queues
+    against the shrunken cluster.
+
+    For events carrying a job (COMPLETION/ARRIVAL) ``Event.job_id`` is
+    the job id; for disruption events it indexes the failure or drain
+    entry of the simulator's :class:`~repro.sim.disruptions.DisruptionTrace`.
+    """
 
     #: A running job finished; its resources are released.
     COMPLETION = 0
+    #: A failed node comes back; capacity is restored.
+    NODE_REPAIR = 1
+    #: A maintenance drain ends; drained nodes return to service.
+    DRAIN_END = 2
+    #: A node dies; its job (if any) is killed and capacity shrinks.
+    NODE_FAILURE = 3
+    #: A maintenance drain begins; nodes leave service (killing
+    #: running jobs if the cluster is too full to drain idle ones).
+    DRAIN_START = 4
+    #: A future drain is announced; recovery-aware schedulers may react.
+    DRAIN_ANNOUNCE = 5
     #: A job entered the waiting queue.
-    ARRIVAL = 1
+    ARRIVAL = 6
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.sim.actions import Action
 from repro.sim.constraints import Violation
+from repro.sim.disruptions import PreemptionRecord
 from repro.sim.job import Job
 
 
@@ -87,6 +88,15 @@ class ScheduleResult:
     extras:
         Scheduler-attached artifacts (e.g. LLM call records, annealer
         statistics). Keys are scheduler-specific.
+    preemptions:
+        One :class:`~repro.sim.disruptions.PreemptionRecord` per kill
+        (node failure, drain eviction, or voluntary ``PreemptJob``), in
+        chronological order. Empty for undisrupted runs.
+    disrupted:
+        True when the run executed under a non-empty disruption trace
+        (even if no job happened to be killed); gates the extra
+        disruption metrics so undisrupted reports stay byte-identical
+        to the pre-disruption code.
     """
 
     records: list[JobRecord]
@@ -95,6 +105,8 @@ class ScheduleResult:
     total_memory_gb: float
     scheduler_name: str = ""
     extras: dict[str, Any] = field(default_factory=dict)
+    preemptions: list[PreemptionRecord] = field(default_factory=list)
+    disrupted: bool = False
 
     # -- array views ---------------------------------------------------
     def to_arrays(self) -> dict[str, np.ndarray]:

@@ -15,11 +15,14 @@ the ReAct LLM agent all implement :class:`SchedulerProtocol`.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Iterable,
     Iterator,
+    Mapping,
     Optional,
     Protocol,
     Sequence,
@@ -29,6 +32,12 @@ from typing import (
 from repro.sim.actions import Action, ActionKind, Delay
 from repro.sim.cluster import ClusterModel, ResourcePool
 from repro.sim.constraints import ConstraintChecker, Violation
+from repro.sim.disruptions import (
+    DisruptionTrace,
+    DrainWindow,
+    PreemptionRecord,
+    normalize_restart_policy,
+)
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.job import Job, validate_dependencies, validate_workload
 from repro.sim.schedule import DecisionRecord, JobRecord, ScheduleResult
@@ -36,6 +45,10 @@ from repro.sim.schedule import DecisionRecord, JobRecord, ScheduleResult
 
 class SimulationError(RuntimeError):
     """Raised on unrecoverable simulation states (deadlock, runaway)."""
+
+
+#: Shared empty mapping for undisrupted views' ``remaining_runtimes``.
+_NO_REMAINING: dict[int, float] = {}
 
 
 @dataclass(frozen=True)
@@ -141,9 +154,27 @@ class SystemView:
     #: Jobs submitted but held back by unmet dependencies (the §6
     #: dependency extension); they are not eligible to schedule yet.
     blocked_jobs: int = 0
+    #: Nodes currently out of service (failed or draining); already
+    #: reflected in ``free_nodes``/``free_memory_gb``, exposed so
+    #: recovery-aware policies can tell saturation from outage.
+    nodes_offline: int = 0
+    #: Announced maintenance windows not yet finished, in start order.
+    #: Windows that have already started are still listed until they
+    #: end (their capacity is already missing from ``free_nodes``).
+    upcoming_drains: tuple[DrainWindow, ...] = ()
+    #: Remaining runtime for jobs restarted after a kill (checkpoint
+    #: restart); jobs absent from the mapping run their full duration.
+    remaining_runtimes: Mapping[int, float] = field(default_factory=dict)
     #: Lazily-built id → job index over ``queued`` (see
     #: :meth:`queued_job`); excluded from init/repr/comparison.
     _queued_index: Optional[dict[int, Job]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Running jobs ordered by walltime-expiry (start + walltime); the
+    #: simulator fills this from its incrementally-maintained index so
+    #: EASY reservations stop re-sorting per blocked decision. Built
+    #: lazily (one sort) for hand-constructed views.
+    _running_sorted: Optional[tuple[RunningJob, ...]] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -176,6 +207,118 @@ class SystemView:
             job.nodes <= self.free_nodes
             and job.memory_gb <= self.free_memory_gb + 1e-9
         )
+
+    def effective_walltime(self, job: Job) -> float:
+        """Walltime estimate for *job*'s next attempt: the requested
+        walltime, tightened to the known remaining runtime for
+        checkpoint-restarted jobs."""
+        remaining = self.remaining_runtimes.get(job.job_id)
+        if remaining is None:
+            return job.walltime
+        return min(job.walltime, remaining)
+
+    def running_by_walltime_end(self) -> tuple[RunningJob, ...]:
+        """Running jobs ordered by ``start + walltime`` (ties keep
+        ``running`` order) — the traversal order of EASY reservations.
+
+        The simulator maintains this index incrementally across
+        decisions (insert on start, delete on completion/kill), so for
+        engine-built views the call is O(1); hand-built views pay one
+        sort on first use and cache it.
+        """
+        cached = self._running_sorted
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    self.running,
+                    key=lambda r: r.start_time + r.job.walltime,
+                )
+            )
+            object.__setattr__(self, "_running_sorted", cached)
+        return cached
+
+    @property
+    def node_memory_share(self) -> float:
+        """Even per-node memory share — what one offline/drained node
+        withholds under the aggregate cluster model."""
+        return self.total_memory_gb / self.total_nodes
+
+    def _peak_drained_nodes(self, start: float, end: float) -> int:
+        """Peak *simultaneous* node count taken by announced,
+        not-yet-started drains over ``[start, end)``.
+
+        Overlapping windows add up — checking each drain individually
+        would declare a job safe that the windows jointly kill.
+        Windows already in progress are excluded (their capacity is
+        already missing from ``free_nodes``).
+        """
+        deltas: list[tuple[float, int]] = []
+        for d in self.upcoming_drains:
+            if d.start <= self.now or not d.overlaps(start, end):
+                continue
+            deltas.append((max(d.start, start), d.nodes))
+            deltas.append((d.end, -d.nodes))
+        if not deltas:
+            return 0
+        deltas.sort()
+        level = peak = 0
+        for _, delta in deltas:
+            level += delta
+            peak = max(peak, level)
+        return peak
+
+    def _fits_alongside_drains(self, job: Job, start: float) -> bool:
+        """Would *job*, started at *start*, fit once every announced
+        drain overlapping its walltime window has taken its nodes?"""
+        peak = self._peak_drained_nodes(
+            start, start + self.effective_walltime(job)
+        )
+        if peak == 0:
+            return True
+        return (
+            job.nodes <= self.free_nodes - peak
+            and job.memory_gb
+            <= self.free_memory_gb - peak * self.node_memory_share + 1e-9
+        )
+
+    def drain_safe(self, job: Job) -> bool:
+        """Conservatively, can *job* be started now without straddling
+        announced maintenance drains it might not survive?
+
+        The job must fit in the capacity left at the *peak* of the
+        announced-but-not-yet-started drains overlapping
+        ``[now, now + walltime)`` (overlapping windows add up; windows
+        already in progress are skipped — their capacity is already
+        gone from ``free_nodes``). Vacuously True with no drains, so
+        drain-aware policies are byte-identical to their legacy
+        behaviour on undisrupted runs.
+        """
+        if not self.upcoming_drains:
+            return True
+        return self._fits_alongside_drains(job, self.now)
+
+    def earliest_drain_safe_start(self, job: Job) -> float:
+        """Earliest ``t >= now`` at which starting *job* would not
+        straddle announced drains it might not survive (same
+        conservative capacity test as :meth:`drain_safe`). This is the
+        natural *reservation* time for a drain-parked job: EASY uses it
+        as the shadow so short work can still backfill the parked job's
+        resources until then. Returns ``now`` when the job is already
+        drain-safe.
+        """
+        drains = self.upcoming_drains
+        if not drains:
+            return self.now
+        # The safe start is either now or the end of some blocking
+        # window; past the last end there are no drains left, so the
+        # search always terminates.
+        candidates = [self.now] + sorted(
+            d.end for d in drains if d.start > self.now and d.end > self.now
+        )
+        for t in candidates:
+            if self._fits_alongside_drains(job, t):
+                return t
+        return candidates[-1]
 
     def feasible_jobs(self) -> tuple[Job, ...]:
         """Queued jobs that could start right now."""
@@ -242,7 +385,24 @@ class HPCSimulator:
         walltime. When True, a job whose true duration exceeds its
         walltime runs for exactly the walltime and its record is
         marked ``killed`` (the paper's synthetic workloads use perfect
-        estimates, so this is off by default).
+        estimates, so this is off by default). With checkpoint
+        restarts the limit applies per attempt.
+    disruptions:
+        Optional :class:`~repro.sim.disruptions.DisruptionTrace` of
+        node failures and maintenance drains to replay. ``None`` or an
+        empty trace leaves the engine on the legacy (zero-disruption)
+        path, byte-identical to a simulator without the subsystem.
+    restart_policy:
+        What a killed job keeps: ``resubmit`` (nothing — full rerun),
+        ``checkpoint`` (work up to the last multiple of
+        ``checkpoint_interval``), or ``preempt_migrate`` (checkpoint
+        semantics, plus an implicit checkpoint of every running job at
+        each drain announcement, modeling proactive migration).
+        Voluntary ``PreemptJob`` actions always suspend cleanly (no
+        work lost) regardless of policy.
+    checkpoint_interval:
+        Seconds between periodic checkpoints; required (positive) for
+        the ``checkpoint`` policy, optional for ``preempt_migrate``.
     """
 
     jobs: list[Job]
@@ -251,8 +411,23 @@ class HPCSimulator:
     max_retries: int = 3
     max_decisions: Optional[int] = None
     enforce_walltime: bool = False
+    disruptions: Optional[DisruptionTrace] = None
+    restart_policy: str = "resubmit"
+    checkpoint_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
+        self.restart_policy = normalize_restart_policy(self.restart_policy)
+        if self.checkpoint_interval is not None:
+            if self.checkpoint_interval <= 0:
+                raise ValueError(
+                    f"checkpoint_interval must be positive, got "
+                    f"{self.checkpoint_interval}"
+                )
+        elif self.restart_policy == "checkpoint":
+            raise ValueError(
+                "restart_policy='checkpoint' requires a positive "
+                "checkpoint_interval"
+            )
         self.jobs = validate_workload(self.jobs)
         validate_dependencies(self.jobs)
         for job in self.jobs:
@@ -275,6 +450,32 @@ class HPCSimulator:
         jobs_by_id = {j.job_id: j for j in self.jobs}
         for job in self.jobs:
             events.push(Event(job.submit_time, EventKind.ARRIVAL, job.job_id))
+
+        # Disruption events. The trace is plain data generated up
+        # front, so the event stream is identical for every scheduler
+        # and every execution mode. ``job_id`` carries the index into
+        # the trace's failure/drain tuples.
+        trace = self.disruptions if self.disruptions else None
+        disrupted = trace is not None
+        if trace is not None:
+            for idx, failure in enumerate(trace.failures):
+                events.push(
+                    Event(failure.time, EventKind.NODE_FAILURE, idx)
+                )
+                events.push(
+                    Event(failure.repair_time, EventKind.NODE_REPAIR, idx)
+                )
+            for idx, drain in enumerate(trace.drains):
+                if drain.announce_time < drain.start:
+                    events.push(
+                        Event(
+                            drain.announce_time,
+                            EventKind.DRAIN_ANNOUNCE,
+                            idx,
+                        )
+                    )
+                events.push(Event(drain.start, EventKind.DRAIN_START, idx))
+                events.push(Event(drain.end, EventKind.DRAIN_END, idx))
 
         queued: dict[int, Job] = {}
         #: Queue in arrival/unblock order. Placed jobs leave ``queued``
@@ -300,11 +501,51 @@ class HPCSimulator:
             for dep in job.depends_on:
                 dependents.setdefault(dep, []).append(job.job_id)
         stopped = False
+        #: The budget guards against runaway schedulers, but disruption
+        #: churn is legitimate work: every event is a decision point
+        #: and every kill implies at least one extra placement. The
+        #: default scales with the trace (and grows per kill, below);
+        #: an explicit ``max_decisions`` stays a hard cap.
         decision_budget = (
             self.max_decisions
             if self.max_decisions is not None
-            else 200 * len(self.jobs) + 1000
+            else 200 * len(self.jobs)
+            + 1000
+            + 20 * (trace.n_events if trace is not None else 0)
         )
+
+        # -- disruption bookkeeping -------------------------------------
+        #: Remaining runtime of killed-and-requeued jobs; absent = full
+        #: duration. Entries persist until final completion so views
+        #: and restart math agree.
+        remaining: dict[int, float] = {}
+        preemptions: list[PreemptionRecord] = []
+        #: job_id -> index into ``preemptions`` awaiting a restart time.
+        pending_restart: dict[int, int] = {}
+        #: Failure-trace indices whose capacity was actually taken
+        #: (a failure striking an already-offline node is a no-op and
+        #: its paired repair must be skipped too).
+        effective_failures: set[int] = set()
+        #: Most recent drain announcement (preempt_migrate implicitly
+        #: checkpoints every running job at that instant).
+        last_announce = -math.inf
+        n_kills = {"failure": 0, "drain": 0, "preempt": 0}
+
+        # -- running-set snapshots (copy-on-write) ----------------------
+        # ``view.running`` and the walltime-expiry index change only
+        # when a job starts, completes, or is killed — not on arrivals
+        # or time advances — so both tuples are cached across view
+        # rebuilds and invalidated separately from the view itself.
+        # The expiry index (EASY's reservation traversal order) is
+        # maintained incrementally with bisect instead of re-sorted
+        # per blocked decision: entries are ``(start + walltime, seq,
+        # job_id)`` where ``seq`` is a monotone placement counter, so
+        # ties replay insertion order exactly like a stable sort.
+        running_snapshot: Optional[tuple[RunningJob, ...]] = None
+        running_sorted_snapshot: Optional[tuple[RunningJob, ...]] = None
+        walltime_order: list[tuple[float, int, int]] = []
+        place_seq = 0
+        run_seq: dict[int, int] = {}
 
         if hasattr(self.cluster, "reset"):
             self.cluster.reset()
@@ -321,26 +562,158 @@ class HPCSimulator:
         #: retries (system state cannot change between them) and rebuilt
         #: only after a mutation. ``completed_ids`` shares the
         #: append-only completion log via CompletedLog, so building a
-        #: view costs O(queue + running) — flat in completed-job count.
+        #: view costs O(queue) — flat in completed-job count, and flat
+        #: in running-job count while the running set is unchanged.
         view_cache: Optional[SystemView] = None
 
         def invalidate_view() -> None:
             nonlocal view_cache
             view_cache = None
 
+        def invalidate_running() -> None:
+            nonlocal view_cache, running_snapshot, running_sorted_snapshot
+            view_cache = None
+            running_snapshot = None
+            running_sorted_snapshot = None
+
+        def start_running(job: Job, start: float) -> None:
+            """Allocate *job* and schedule its completion."""
+            nonlocal place_seq
+            invalidate_running()
+            self.cluster.allocate(job)
+            full = remaining.get(job.job_id, job.duration)
+            runtime = (
+                min(full, job.walltime) if self.enforce_walltime else full
+            )
+            running[job.job_id] = RunningJob(job, start, runtime=runtime)
+            insort(
+                walltime_order, (start + job.walltime, place_seq, job.job_id)
+            )
+            run_seq[job.job_id] = place_seq
+            place_seq += 1
+            if job.job_id in pending_restart:
+                preemptions[pending_restart.pop(job.job_id)].restart_time = (
+                    start
+                )
+            events.push(Event(start + runtime, EventKind.COMPLETION, job.job_id))
+
+        def drop_running(job_id: int) -> RunningJob:
+            """Remove a job from the running set and the expiry index."""
+            invalidate_running()
+            run = running.pop(job_id)
+            key = (
+                run.start_time + run.job.walltime,
+                run_seq.pop(job_id),
+                job_id,
+            )
+            del walltime_order[bisect_left(walltime_order, key)]
+            self.cluster.release(job_id)
+            return run
+
+        def kill_running(job_id: int, time: float, reason: str) -> None:
+            """Evict a running job and requeue it under the restart
+            policy. ``reason`` "preempt" is the voluntary/graceful path
+            (clean suspend: no work lost)."""
+            nonlocal stopped, final_stop_asked, decision_budget
+            if self.max_decisions is None and reason != "preempt":
+                # Each trace-driven kill legitimately costs extra
+                # decisions (the victim must be re-placed, often after
+                # several delays); keep the runaway guard proportional.
+                # Voluntary preempts are *scheduler*-controlled and
+                # must not extend the budget — a policy looping
+                # start/preempt is exactly the runaway the guard
+                # exists to catch.
+                decision_budget += 8
+            run = drop_running(job_id)
+            elapsed = time - run.start_time
+            prior = remaining.get(job_id, run.job.duration)
+            if reason == "preempt":
+                saved = elapsed
+            elif self.restart_policy == "resubmit":
+                saved = 0.0
+            else:  # checkpoint / preempt_migrate
+                interval = self.checkpoint_interval
+                saved = (
+                    math.floor(elapsed / interval) * interval
+                    if interval
+                    else 0.0
+                )
+                if (
+                    self.restart_policy == "preempt_migrate"
+                    and last_announce >= run.start_time
+                ):
+                    saved = max(saved, last_announce - run.start_time)
+                saved = min(saved, elapsed)
+            remaining[job_id] = prior - saved
+            queued[job_id] = run.job
+            # The job's entry from its original queueing may still
+            # linger in queue_order (placed ids are only compacted
+            # lazily); purge it or the requeued job would appear twice
+            # in every view's queue.
+            if job_id in queue_order:
+                queue_order[:] = [j for j in queue_order if j != job_id]
+            queue_order.append(job_id)
+            # The world changed: a closing Stop no longer covers this
+            # job, so scheduling re-opens (emits_stop policies get to
+            # re-close once it is placed again).
+            stopped = False
+            final_stop_asked = False
+            n_kills[reason] += 1
+            pending_restart[job_id] = len(preemptions)
+            preemptions.append(
+                PreemptionRecord(
+                    job_id=job_id,
+                    nodes=run.job.nodes,
+                    start_time=run.start_time,
+                    time=time,
+                    reason=reason,
+                    work_saved=saved,
+                    work_lost=elapsed - saved,
+                )
+            )
+            # The killed job's COMPLETION event is still in the heap;
+            # the completion handler drops it as stale (no matching
+            # running entry / expected end).
+
+        def apply_drain_start(idx: int) -> None:
+            """Take the drain's nodes out of service, idle nodes first,
+            preempting running jobs only when too few are idle."""
+            drain = trace.drains[idx]
+            tag = f"drain:{idx}"
+            taken = 0
+            target = min(drain.nodes, self.cluster.total_nodes)
+            while taken < target:
+                if self.cluster.drain_take_idle(tag):
+                    taken += 1
+                    continue
+                victim = self.cluster.drain_victim()
+                if victim is None:
+                    break  # nothing left to take; partial drain
+                kill_running(victim, drain.start, "drain")
+            invalidate_view()
+
+        #: Set by DRAIN_ANNOUNCE; grants the scheduler one decision
+        #: query at the announcement even with an empty queue.
+        announce_pending = False
+
         def process_events_at(time: float) -> None:
-            nonlocal pending_arrivals
+            nonlocal pending_arrivals, last_announce, announce_pending
             for event in events.pop_until(time):
                 invalidate_view()
                 if event.kind is EventKind.COMPLETION:
-                    run = running.pop(event.job_id)
-                    self.cluster.release(event.job_id)
+                    run = running.get(event.job_id)
+                    if run is None or run.expected_end != event.time:
+                        # Stale: the attempt this event belonged to was
+                        # killed by a failure/drain/preemption.
+                        continue
+                    drop_running(event.job_id)
+                    full = remaining.pop(event.job_id, run.job.duration)
                     records.append(
                         JobRecord(
                             run.job,
                             run.start_time,
                             event.time,
-                            killed=run.runtime < run.job.duration,
+                            killed=run.runtime < full,
                         )
                     )
                     completed_ids.append(event.job_id)
@@ -352,7 +725,7 @@ class HPCSimulator:
                             del blocked[dep_id]
                             queued[job.job_id] = job
                             queue_order.append(job.job_id)
-                else:  # ARRIVAL
+                elif event.kind is EventKind.ARRIVAL:
                     job = jobs_by_id[event.job_id]
                     pending_arrivals -= 1
                     if deps_met(job):
@@ -360,9 +733,37 @@ class HPCSimulator:
                         queue_order.append(job.job_id)
                     else:
                         blocked[job.job_id] = job
+                elif event.kind is EventKind.NODE_FAILURE:
+                    failure = trace.failures[event.job_id]
+                    victim = self.cluster.slot_victim(failure.node)
+                    if victim is not None:
+                        kill_running(victim, event.time, "failure")
+                    if self.cluster.mark_failed(failure.node):
+                        effective_failures.add(event.job_id)
+                elif event.kind is EventKind.NODE_REPAIR:
+                    if event.job_id in effective_failures:
+                        effective_failures.discard(event.job_id)
+                        self.cluster.mark_repaired(
+                            trace.failures[event.job_id].node
+                        )
+                elif event.kind is EventKind.DRAIN_START:
+                    apply_drain_start(event.job_id)
+                elif event.kind is EventKind.DRAIN_END:
+                    self.cluster.drain_release(f"drain:{event.job_id}")
+                else:  # DRAIN_ANNOUNCE
+                    last_announce = event.time
+                    announce_pending = True
+                    # preempt_migrate: implicit checkpoint of all
+                    # running work at the announcement (handled lazily
+                    # in kill_running via ``last_announce``). The
+                    # ``announce_pending`` flag additionally grants one
+                    # reactive decision query even when the queue is
+                    # empty (see the main loop) — otherwise a fully
+                    # busy cluster could never voluntarily preempt
+                    # ahead of the window.
 
         def build_view() -> SystemView:
-            nonlocal view_cache
+            nonlocal view_cache, running_snapshot, running_sorted_snapshot
             if view_cache is not None:
                 return view_cache
             next_arrival: Optional[float] = None
@@ -374,10 +775,22 @@ class HPCSimulator:
             if len(queue_order) > 2 * len(queued) + 8:
                 queue_order[:] = [jid for jid in queue_order if jid in queued]
             ordered_queue = tuple(queued[jid] for jid in queue_order if jid in queued)
+            if running_snapshot is None:
+                running_snapshot = tuple(running.values())
+                running_sorted_snapshot = tuple(
+                    running[jid] for (_, _, jid) in walltime_order
+                )
+            drains: tuple[DrainWindow, ...] = ()
+            if trace is not None and trace.drains:
+                drains = tuple(
+                    d
+                    for d in trace.drains
+                    if d.announce_time <= now < d.end
+                )
             view_cache = SystemView(
                 now=now,
                 queued=ordered_queue,
-                running=tuple(running.values()),
+                running=running_snapshot,
                 completed_ids=CompletedLog(completed_ids),
                 free_nodes=self.cluster.free_nodes,
                 free_memory_gb=self.cluster.free_memory_gb,
@@ -387,6 +800,19 @@ class HPCSimulator:
                 next_arrival_time=next_arrival,
                 next_completion_time=next_completion,
                 blocked_jobs=len(blocked),
+                nodes_offline=getattr(self.cluster, "offline_nodes", 0),
+                upcoming_drains=drains,
+                # Snapshot copy: views are immutable snapshots, and the
+                # live dict mutates on every kill/completion — a
+                # retained view must keep reading its own instant.
+                # (Empty on undisrupted runs: shared constant, no
+                # allocation on the legacy path.)
+                remaining_runtimes=(
+                    dict(remaining) if remaining else _NO_REMAINING
+                ),
+            )
+            object.__setattr__(
+                view_cache, "_running_sorted", running_sorted_snapshot
             )
             return view_cache
 
@@ -394,6 +820,50 @@ class HPCSimulator:
 
         while True:
             process_events_at(now)
+
+            # A drain was just announced and nothing is queued: the
+            # normal decision phase below would skip the scheduler
+            # entirely, so a preempt-migrate policy on a fully busy
+            # cluster could never react before the window starts.
+            # Grant one query (within the decision budget); an accepted
+            # PreemptJob requeues its victim and the regular phase then
+            # takes over (letting the policy keep preempting). With
+            # jobs queued the regular phase consults the scheduler
+            # anyway.
+            if (
+                announce_pending
+                and running
+                and not queued
+                and not stopped
+                and len(decisions) < decision_budget
+            ):
+                view = build_view()
+                action = self.scheduler.decide(view)
+                result = checker.validate(
+                    action,
+                    queued=queued,
+                    cluster=self.cluster,
+                    all_scheduled=view.all_jobs_scheduled,
+                    running=running,
+                )
+                decisions.append(
+                    DecisionRecord(
+                        time=now,
+                        action=action,
+                        accepted=result.ok,
+                        violations=result.violations,
+                        meta=dict(self.scheduler.decision_meta()),
+                    )
+                )
+                if not result.ok:
+                    self.scheduler.on_rejection(
+                        action, result.violations, view
+                    )
+                elif action.kind is ActionKind.PREEMPT:
+                    kill_running(action.job_id, now, "preempt")  # type: ignore[arg-type]
+                elif action.kind is ActionKind.STOP:
+                    stopped = True
+            announce_pending = False
 
             # Decision phase: keep querying while jobs are queued and the
             # scheduler keeps placing them (all within the same timestep).
@@ -411,6 +881,7 @@ class HPCSimulator:
                     queued=queued,
                     cluster=self.cluster,
                     all_scheduled=view.all_jobs_scheduled,
+                    running=running,
                 )
                 meta = dict(self.scheduler.decision_meta())
                 decisions.append(
@@ -436,19 +907,13 @@ class HPCSimulator:
                 if action.kind is ActionKind.STOP:
                     stopped = True
                     break
+                if action.kind is ActionKind.PREEMPT:
+                    # Voluntary suspend: clean checkpoint, requeue.
+                    kill_running(action.job_id, now, "preempt")  # type: ignore[arg-type]
+                    continue
                 # StartJob / BackfillJob
-                invalidate_view()
                 job = queued.pop(action.job_id)  # type: ignore[arg-type]
-                self.cluster.allocate(job)
-                runtime = (
-                    min(job.duration, job.walltime)
-                    if self.enforce_walltime
-                    else job.duration
-                )
-                running[job.job_id] = RunningJob(job, now, runtime=runtime)
-                events.push(
-                    Event(now + runtime, EventKind.COMPLETION, job.job_id)
-                )
+                start_running(job, now)
 
             # Agents that narrate a closing Stop (the paper's ReAct agent
             # emits Stop once every job has been scheduled, possibly while
@@ -520,7 +985,11 @@ class HPCSimulator:
             total_nodes=self.cluster.total_nodes,
             total_memory_gb=self.cluster.total_memory_gb,
             scheduler_name=self.scheduler.name,
+            preemptions=preemptions,
+            disrupted=disrupted,
         )
+        if disrupted:
+            result.extras["disruption_kills"] = dict(n_kills)
         collect = getattr(self.scheduler, "collect_extras", None)
         if collect is not None:
             result.extras.update(collect())
@@ -535,6 +1004,9 @@ def simulate(
     max_retries: int = 3,
     max_decisions: Optional[int] = None,
     enforce_walltime: bool = False,
+    disruptions: Optional[DisruptionTrace] = None,
+    restart_policy: str = "resubmit",
+    checkpoint_interval: Optional[float] = None,
 ) -> ScheduleResult:
     """One-call convenience wrapper around :class:`HPCSimulator`."""
     sim = HPCSimulator(
@@ -544,5 +1016,8 @@ def simulate(
         max_retries=max_retries,
         max_decisions=max_decisions,
         enforce_walltime=enforce_walltime,
+        disruptions=disruptions,
+        restart_policy=restart_policy,
+        checkpoint_interval=checkpoint_interval,
     )
     return sim.run()

@@ -147,6 +147,29 @@ def _adversarial(rng: np.random.Generator, i: int, n: int) -> JobDraw:
     return JobDraw(duration=60.0, nodes=1, memory_gb=2.0)
 
 
+def _checkpoint_stress(rng: np.random.Generator, i: int, n: int) -> JobDraw:
+    # Long-running, moderately parallel jobs: each holds a big slab of
+    # the cluster for hours, so a node failure without checkpointing
+    # throws away enormous node-time. The regime where restart policies
+    # separate (pair with --mtbf / the "flaky"/"hostile" presets).
+    duration = rng.gamma(shape=3.0, scale=6000.0)
+    nodes = int(rng.choice([16, 32, 48, 64]))
+    return JobDraw(duration=duration, nodes=nodes, memory_gb=nodes * 4.0)
+
+
+def _drain_window(rng: np.random.Generator, i: int, n: int) -> JobDraw:
+    # Steady mix of medium jobs whose walltimes straddle typical
+    # maintenance-window scales: whether a scheduler parks long jobs
+    # until after an announced drain (or walks into it) dominates the
+    # outcome. Pair with --drain-every / the "maintenance" preset.
+    if rng.random() < 0.3:
+        duration = rng.uniform(4000.0, 12000.0)  # spans a 1h drain
+    else:
+        duration = rng.uniform(300.0, 1800.0)  # fits between drains
+    nodes = int(rng.choice([2, 4, 8, 16, 32]))
+    return JobDraw(duration=duration, nodes=nodes, memory_gb=nodes * 6.0)
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -216,15 +239,53 @@ SCENARIOS: dict[str, Scenario] = {
         arrivals=PoissonArrivals(rate=1 / 5.0),
         heterogeneity=0.3,
     ),
+    # -- failure-themed scenarios (beyond the paper's seven): workload
+    # shapes built to stress the disruption subsystem. The disruption
+    # regime itself is orthogonal — attach one via run_single(
+    # disruptions=...) or the CLI --disruptions/--mtbf/--drain-* flags.
+    "checkpoint_stress": Scenario(
+        name="checkpoint_stress",
+        description=(
+            "Hours-long 16-64 node jobs; node failures without "
+            "checkpointing waste massive node-time (pair with --mtbf)"
+        ),
+        sampler=_checkpoint_stress,
+        arrivals=PoissonArrivals(rate=1 / 300.0),
+        heterogeneity=0.5,
+    ),
+    "drain_window": Scenario(
+        name="drain_window",
+        description=(
+            "Mixed 300s-12000s jobs around maintenance-window scales "
+            "(pair with --drain-every / the maintenance preset)"
+        ),
+        sampler=_drain_window,
+        arrivals=PoissonArrivals(rate=1 / 60.0),
+        heterogeneity=0.6,
+    ),
 }
 
 #: Canonical ordering used in figures (Fig. 3 shows six of the seven —
 #: heterogeneous_mix is covered separately in the scalability analysis).
 SCENARIO_NAMES: tuple[str, ...] = tuple(SCENARIOS)
 
+#: The paper's original seven scenarios (§3.1).
+PAPER_SCENARIOS: tuple[str, ...] = (
+    "homogeneous_short",
+    "heterogeneous_mix",
+    "long_job_dominant",
+    "high_parallelism",
+    "resource_sparse",
+    "bursty_idle",
+    "adversarial",
+)
+
+#: Scenarios added for the disruption subsystem (not in the paper).
+FAILURE_SCENARIOS: tuple[str, ...] = ("checkpoint_stress", "drain_window")
+
 #: The six scenarios plotted in Fig. 3 (§3.5 excludes heterogeneous_mix).
 FIGURE3_SCENARIOS: tuple[str, ...] = tuple(
-    name for name in SCENARIOS if name != "heterogeneous_mix"
+    name for name in PAPER_SCENARIOS if name != "heterogeneous_mix"
 )
 
 #: Queue sizes instantiated per scenario in the paper.

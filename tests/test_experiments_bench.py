@@ -25,6 +25,10 @@ def tiny_config() -> BenchConfig:
         sweep_scenarios=("heterogeneous_mix",),
         sweep_sizes=(8,),
         sweep_schedulers=("fcfs",),
+        disruption_cell=("drain_window", "fcfs_backfill", 60),
+        disruption_mtbf=20_000.0,
+        disruption_mttr=400.0,
+        disruption_checkpoint=300.0,
     )
 
 
@@ -37,8 +41,8 @@ class TestRunBench:
     def test_report_shape(self, tiny_report):
         assert tiny_report["schema"] == bench.SCHEMA_VERSION
         metrics = tiny_report["metrics"]
-        assert {"replan_event", "decision_snapshot", "per_decision", "sweep"} \
-            <= set(metrics)
+        assert {"replan_event", "decision_snapshot", "per_decision",
+                "disruption", "sweep"} <= set(metrics)
         row = metrics["replan_event"][0]
         assert row["queue_size"] == 6
         assert row["incremental_ms"] > 0
@@ -54,6 +58,31 @@ class TestRunBench:
         assert "replanning event" in text
         assert "decision snapshots" in text
         assert "serial sweep" in text
+        assert "disruption" in text
+
+    def test_disruption_section_shape(self, tiny_report):
+        dis = tiny_report["metrics"]["disruption"]
+        assert dis["clean_us_per_decision"] > 0
+        assert dis["disrupted_us_per_decision"] > 0
+        assert dis["overhead_ratio"] > 0
+        assert dis["n_preemptions"] >= 0
+
+    def test_dimensionless_only_comparison(self, tiny_report):
+        import copy
+
+        worse = copy.deepcopy(tiny_report)
+        # Inflate an absolute timing AND a ratio.
+        worse["metrics"]["per_decision"][0]["us_per_decision"] *= 10
+        worse["metrics"]["disruption"]["overhead_ratio"] *= 10
+        full = bench.compare_to_baseline(worse, tiny_report, threshold=0.25)
+        dimensionless = bench.compare_to_baseline(
+            worse, tiny_report, threshold=0.25, dimensionless_only=True
+        )
+        assert {r.metric for r in dimensionless} < {r.metric for r in full}
+        assert all(
+            r.metric.endswith(("speedup", "_ratio")) for r in dimensionless
+        )
+        assert any(r.metric.endswith("overhead_ratio") for r in dimensionless)
 
     def test_write_load_roundtrip(self, tiny_report, tmp_path):
         path = str(tmp_path / "BENCH_test.json")

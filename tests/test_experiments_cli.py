@@ -29,6 +29,48 @@ class TestParser:
         assert args.enforce_walltime is True
         assert args.max_decisions == 500
 
+    def test_disruption_flags_parse(self):
+        for cmd in (
+            ["run", "--scenario", "drain_window", "--scheduler", "fcfs"],
+            ["matrix", "--scenarios", "drain_window", "--sizes", "10"],
+        ):
+            args = build_parser().parse_args(cmd + [
+                "--mtbf", "30000", "--mttr", "600",
+                "--drain-every", "3600", "--drain-nodes", "32",
+                "--restart-policy", "preempt-migrate",
+                "--checkpoint-interval", "300",
+                "--disruptions", "hostile",
+            ])
+            assert args.mtbf == 30000.0
+            assert args.restart_policy == "preempt-migrate"
+            assert args.checkpoint_interval == 300.0
+            assert args.disruptions == "hostile"
+
+    def test_bad_disruption_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "run", "--scenario", "drain_window", "--scheduler",
+                "fcfs", "--disruptions", "apocalypse",
+            ])
+
+    def test_checkpoint_policy_without_interval_is_friendly_error(
+        self, capsys
+    ):
+        rc = main([
+            "run", "--scenario", "drain_window", "--scheduler", "fcfs",
+            "--mtbf", "30000", "--restart-policy", "checkpoint",
+        ])
+        assert rc == 2
+        assert "--checkpoint-interval" in capsys.readouterr().err
+
+    def test_invalid_preset_override_is_friendly_error(self, capsys):
+        rc = main([
+            "matrix", "--scenarios", "drain_window", "--sizes", "8",
+            "--schedulers", "fcfs", "--drain-every", "3600",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestExecution:
     def test_list(self, capsys):
@@ -36,6 +78,22 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "heterogeneous_mix" in out
         assert "claude-3.7-sim" in out
+        assert "drain_window" in out
+        assert "Disruption presets:" in out
+        assert "hostile" in out
+
+    def test_run_with_disruptions(self, capsys):
+        assert main([
+            "run", "--scenario", "drain_window", "--scheduler",
+            "fcfs_backfill", "-n", "15",
+            "--mtbf", "20000", "--mttr", "400",
+            "--restart-policy", "checkpoint",
+            "--checkpoint-interval", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "disruptions [" in out
+        assert "policy=checkpoint" in out
+        assert "goodput_nh" in out
 
     def test_run_command(self, capsys):
         code = main([

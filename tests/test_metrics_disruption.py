@@ -1,0 +1,149 @@
+"""Unit tests for the reliability objectives."""
+
+import pytest
+
+from repro.metrics.disruption import (
+    DISRUPTION_METRIC_NAMES,
+    disruption_metrics,
+    goodput_fraction,
+    goodput_node_hours,
+    mean_requeue_latency,
+    wasted_node_hours,
+    work_lost_per_kill,
+)
+from repro.sim.disruptions import PreemptionRecord
+from repro.sim.job import Job
+from repro.sim.schedule import JobRecord, ScheduleResult
+
+
+def make_result(records=(), preemptions=(), disrupted=True):
+    return ScheduleResult(
+        records=list(records),
+        decisions=[],
+        total_nodes=16,
+        total_memory_gb=128.0,
+        preemptions=list(preemptions),
+        disrupted=disrupted,
+    )
+
+
+def job(job_id=1, nodes=4, duration=3600.0):
+    return Job(
+        job_id=job_id, submit_time=0.0, duration=duration,
+        nodes=nodes, memory_gb=8.0,
+    )
+
+
+def preemption(job_id=1, nodes=4, start=0.0, time=1800.0, reason="failure",
+               saved=0.0, restart=None):
+    lost = (time - start) - saved
+    return PreemptionRecord(
+        job_id=job_id, nodes=nodes, start_time=start, time=time,
+        reason=reason, work_saved=saved, work_lost=lost,
+        restart_time=restart,
+    )
+
+
+class TestGoodputAndWaste:
+    def test_clean_run_is_all_goodput(self):
+        j = job(duration=3600.0, nodes=4)
+        result = make_result(records=[JobRecord(j, 0.0, 3600.0)])
+        assert goodput_node_hours(result) == pytest.approx(4.0)
+        assert wasted_node_hours(result) == pytest.approx(0.0)
+        assert goodput_fraction(result) == pytest.approx(1.0)
+
+    def test_resubmit_kill_wastes_elapsed_work(self):
+        j = job(duration=3600.0, nodes=4)
+        # Killed at 1800s with nothing saved, reran fully 1800→5400.
+        result = make_result(
+            records=[JobRecord(j, 1800.0, 5400.0)],
+            preemptions=[preemption(saved=0.0, restart=1800.0)],
+        )
+        # Useful: 4 nodes × 3600 s = 4 nh. Wasted: 4 × 1800 s = 2 nh.
+        assert goodput_node_hours(result) == pytest.approx(4.0)
+        assert wasted_node_hours(result) == pytest.approx(2.0)
+        assert goodput_fraction(result) == pytest.approx(4.0 / 6.0)
+
+    def test_checkpoint_kill_wastes_only_tail(self):
+        j = job(duration=3600.0, nodes=4)
+        # Killed at 1800s, checkpoint saved 1500s; final attempt runs
+        # the remaining 2100 s.
+        result = make_result(
+            records=[JobRecord(j, 1800.0, 1800.0 + 2100.0)],
+            preemptions=[preemption(saved=1500.0, restart=1800.0)],
+        )
+        # Useful = 4 × (2100 + 1500) = 4 nh; wasted = 4 × 300 s.
+        assert goodput_node_hours(result) == pytest.approx(4.0)
+        assert wasted_node_hours(result) == pytest.approx(4 * 300 / 3600)
+
+    def test_empty_result_fraction_is_one(self):
+        assert goodput_fraction(make_result()) == 1.0
+
+
+class TestKillAccounting:
+    def test_voluntary_preempts_excluded_from_kill_stats(self):
+        result = make_result(
+            preemptions=[
+                preemption(reason="failure", saved=0.0),
+                preemption(reason="preempt", saved=1800.0),
+            ]
+        )
+        metrics = disruption_metrics(result)
+        assert metrics["n_kills"] == 1.0
+        # Only the failure's loss counts per kill.
+        assert work_lost_per_kill(result) == pytest.approx(4 * 1800.0)
+
+    def test_no_kills_zero(self):
+        assert work_lost_per_kill(make_result()) == 0.0
+        assert disruption_metrics(make_result())["n_kills"] == 0.0
+
+
+class TestRequeueLatency:
+    def test_mean_over_restarted_victims(self):
+        result = make_result(
+            preemptions=[
+                preemption(time=1000.0, start=0.0, restart=1200.0),
+                preemption(time=2000.0, start=1500.0, restart=2600.0),
+            ]
+        )
+        assert mean_requeue_latency(result) == pytest.approx(
+            (200.0 + 600.0) / 2
+        )
+
+    def test_unrestarted_victims_skipped(self):
+        result = make_result(
+            preemptions=[preemption(restart=None)]
+        )
+        assert mean_requeue_latency(result) == 0.0
+
+    def test_voluntary_preempts_excluded_from_latency(self):
+        # A policy padding itself with instant voluntary suspensions
+        # must not dilute the involuntary-recovery latency.
+        result = make_result(
+            preemptions=[
+                preemption(time=1000.0, start=0.0, restart=1500.0,
+                           reason="failure"),
+                preemption(time=1000.0, start=0.0, restart=1000.0,
+                           reason="preempt", saved=1000.0),
+            ]
+        )
+        assert mean_requeue_latency(result) == pytest.approx(500.0)
+
+
+class TestIntegrationWithComputeMetrics:
+    def test_disrupted_run_reports_reliability_columns(self):
+        from repro.metrics.objectives import compute_metrics
+
+        j = job()
+        result = make_result(
+            records=[JobRecord(j, 0.0, 3600.0)], disrupted=True
+        )
+        values = compute_metrics(result).as_dict()
+        for name in DISRUPTION_METRIC_NAMES:
+            assert name in values
+
+    def test_names_match_module_functions(self):
+        result = make_result()
+        assert set(disruption_metrics(result)) == set(
+            DISRUPTION_METRIC_NAMES
+        )

@@ -38,7 +38,12 @@ class TestNormalize:
 
 class TestOrientation:
     def test_every_metric_classified(self):
-        assert set(METRIC_NAMES) == LOWER_BETTER | HIGHER_BETTER
+        from repro.metrics.disruption import DISRUPTION_METRIC_NAMES
+
+        assert (
+            set(METRIC_NAMES) | set(DISRUPTION_METRIC_NAMES)
+            == LOWER_BETTER | HIGHER_BETTER
+        )
         assert not (LOWER_BETTER & HIGHER_BETTER)
 
     def test_lower_better_improvement(self):

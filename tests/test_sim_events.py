@@ -30,6 +30,70 @@ class TestOrdering:
             q.push(ev(1.0, EventKind.ARRIVAL, job_id=job_id))
         assert [q.pop().job_id for _ in range(3)] == [7, 8, 9]
 
+    def test_same_instant_kind_order_is_pinned(self):
+        """The full same-timestamp ordering contract, including the
+        disruption kinds: restorations before removals, disruptions
+        before arrivals. This order is part of the reproducibility
+        guarantee — changing it changes every disrupted schedule."""
+        q = EventQueue()
+        # Push in deliberately scrambled order.
+        scrambled = [
+            EventKind.ARRIVAL,
+            EventKind.DRAIN_START,
+            EventKind.NODE_REPAIR,
+            EventKind.DRAIN_ANNOUNCE,
+            EventKind.COMPLETION,
+            EventKind.NODE_FAILURE,
+            EventKind.DRAIN_END,
+        ]
+        for kind in scrambled:
+            q.push(ev(5.0, kind))
+        popped = [q.pop().kind for _ in range(len(scrambled))]
+        assert popped == [
+            EventKind.COMPLETION,
+            EventKind.NODE_REPAIR,
+            EventKind.DRAIN_END,
+            EventKind.NODE_FAILURE,
+            EventKind.DRAIN_START,
+            EventKind.DRAIN_ANNOUNCE,
+            EventKind.ARRIVAL,
+        ]
+
+    def test_failure_before_arrival_at_same_time(self):
+        """A job arriving the instant a node dies must queue against
+        the shrunken cluster: NODE_FAILURE fires first."""
+        q = EventQueue()
+        q.push(ev(3.0, EventKind.ARRIVAL, job_id=1))
+        q.push(ev(3.0, EventKind.NODE_FAILURE, job_id=0))
+        assert q.pop().kind is EventKind.NODE_FAILURE
+        assert q.pop().kind is EventKind.ARRIVAL
+
+    def test_repair_before_failure_at_same_time(self):
+        """Capacity returning and capacity leaving at the same instant:
+        the repair lands first, so back-to-back failure cascades on a
+        full cluster always see the freshly-repaired node."""
+        q = EventQueue()
+        q.push(ev(3.0, EventKind.NODE_FAILURE, job_id=1))
+        q.push(ev(3.0, EventKind.NODE_REPAIR, job_id=0))
+        assert q.pop().kind is EventKind.NODE_REPAIR
+
+    def test_disruption_ties_break_by_insertion(self):
+        q = EventQueue()
+        for idx in (2, 0, 1):
+            q.push(ev(4.0, EventKind.NODE_FAILURE, job_id=idx))
+        assert [q.pop().job_id for _ in range(3)] == [2, 0, 1]
+
+    def test_legacy_kind_values_are_stable(self):
+        """COMPLETION keeps priority 0 and every disruption kind sorts
+        before ARRIVAL; zero-disruption replays are unaffected by the
+        enum growing."""
+        assert int(EventKind.COMPLETION) == 0
+        assert all(
+            int(kind) < int(EventKind.ARRIVAL)
+            for kind in EventKind
+            if kind is not EventKind.ARRIVAL
+        )
+
 
 class TestQueueOperations:
     def test_peek_does_not_remove(self):

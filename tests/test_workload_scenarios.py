@@ -6,16 +6,19 @@ import pytest
 from repro.workloads.scenarios import (
     CLUSTER_MEMORY_GB,
     CLUSTER_NODES,
+    FAILURE_SCENARIOS,
     FIGURE3_SCENARIOS,
     PAPER_JOB_COUNTS,
+    PAPER_SCENARIOS,
     SCENARIOS,
     get_scenario,
 )
 
 
 class TestRegistry:
-    def test_seven_scenarios(self):
-        assert len(SCENARIOS) == 7
+    def test_seven_paper_scenarios(self):
+        assert len(PAPER_SCENARIOS) == 7
+        assert all(name in SCENARIOS for name in PAPER_SCENARIOS)
 
     def test_paper_names_present(self):
         expected = {
@@ -27,7 +30,14 @@ class TestRegistry:
             "bursty_idle",
             "adversarial",
         }
-        assert set(SCENARIOS) == expected
+        assert set(PAPER_SCENARIOS) == expected
+        assert expected <= set(SCENARIOS)
+
+    def test_failure_scenarios_registered(self):
+        assert set(FAILURE_SCENARIOS) == {"checkpoint_stress", "drain_window"}
+        assert all(name in SCENARIOS for name in FAILURE_SCENARIOS)
+        # The disruption additions never displace a paper scenario.
+        assert set(FAILURE_SCENARIOS).isdisjoint(PAPER_SCENARIOS)
 
     def test_figure3_excludes_heterogeneous_mix(self):
         assert "heterogeneous_mix" not in FIGURE3_SCENARIOS
