@@ -22,6 +22,10 @@ of the three hot paths this project optimizes:
   latencies plus the dimensionless ``overhead_ratio`` (disrupted ÷
   clean per-decision cost), tracking what requeue churn costs the
   engine.
+* **correlated** — a 2000-job run under whole-rack shocks on a 32-node
+  rack topology next to its undisrupted twin: what domain-event
+  handling (block kills, per-domain capacity views, spread gating)
+  costs per decision, plus the cell's blast radius.
 
 Regression tracking: :func:`compare_to_baseline` diffs a fresh report
 against a committed baseline (e.g. ``BENCH_PR2.json``) and returns the
@@ -94,6 +98,15 @@ class BenchConfig:
     disruption_mtbf: float = 40_000.0
     disruption_mttr: float = 1_200.0
     disruption_checkpoint: float = 900.0
+    #: Correlated-failure cell: (scenario, scheduler, n_jobs) run on a
+    #: rack topology with whole-rack shocks vs its undisrupted twin.
+    correlated_cell: tuple[str, str, int] = (
+        "rack_storm", "fcfs_backfill", 2000,
+    )
+    correlated_rack_size: int = 32
+    correlated_rack_mtbf: float = 60_000.0
+    correlated_mttr: float = 1_800.0
+    correlated_checkpoint: float = 900.0
     seed: int = 0
 
     @classmethod
@@ -330,6 +343,69 @@ def bench_disruption(cfg: BenchConfig) -> dict[str, Any]:
     }
 
 
+def bench_correlated(cfg: BenchConfig) -> dict[str, Any]:
+    """Correlated (rack-shock) run vs. its undisrupted twin.
+
+    Same workload and scheduler on the same rack topology, once under
+    whole-rack shocks with checkpoint restarts and once clean. Tracks
+    what domain-event handling (block kills, per-domain capacity views,
+    spread gating) costs per decision; ``overhead_ratio`` is the
+    dimensionless number CI compares across runner generations.
+    """
+    from repro.sim.disruptions import DisruptionSpec
+    from repro.sim.topology import ClusterTopology
+
+    scenario, scheduler, n_jobs = cfg.correlated_cell
+    topology = ClusterTopology(
+        n_nodes=256, rack_size=cfg.correlated_rack_size
+    )
+    spec = DisruptionSpec(
+        rack_mtbf=cfg.correlated_rack_mtbf,
+        mttr=cfg.correlated_mttr,
+        correlation=1.0,
+        seed=cfg.seed,
+    )
+
+    def timed(disruptions):
+        t0 = time.perf_counter()
+        run = run_single(
+            scenario, n_jobs, scheduler,
+            workload_seed=cfg.seed, scheduler_seed=cfg.seed,
+            topology=topology,
+            disruptions=disruptions,
+            restart_policy="checkpoint" if disruptions else "resubmit",
+            checkpoint_interval=(
+                cfg.correlated_checkpoint if disruptions else None
+            ),
+        )
+        return time.perf_counter() - t0, run
+
+    clean_wall, clean = timed(None)
+    shocked_wall, shocked = timed(spec)
+    clean_us = clean_wall / max(len(clean.result.decisions), 1) * 1e6
+    shocked_us = (
+        shocked_wall / max(len(shocked.result.decisions), 1) * 1e6
+    )
+    blast = shocked.metrics.as_dict().get(
+        "largest_event_loss_node_hours", 0.0
+    )
+    return {
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "n_jobs": n_jobs,
+        "topology": topology.signature(),
+        "n_preemptions": len(shocked.result.preemptions),
+        "largest_event_loss_node_hours": round(blast, 2),
+        "clean_wall_s": round(clean_wall, 3),
+        "correlated_wall_s": round(shocked_wall, 3),
+        "clean_us_per_decision": round(clean_us, 2),
+        "correlated_us_per_decision": round(shocked_us, 2),
+        "overhead_ratio": round(shocked_us / clean_us, 3)
+        if clean_us
+        else 1.0,
+    }
+
+
 def bench_sweep(cfg: BenchConfig) -> dict[str, Any]:
     t0 = time.perf_counter()
     runs = run_matrix(
@@ -368,6 +444,8 @@ def run_bench(
     per_decision = bench_per_decision(cfg)
     note("disruption: failure-heavy run vs undisrupted twin …")
     disruption = bench_disruption(cfg)
+    note("correlated: rack-shock run vs undisrupted twin …")
+    correlated = bench_correlated(cfg)
     note("sweep: serial mini-matrix wall clock …")
     sweep = bench_sweep(cfg)
 
@@ -381,6 +459,7 @@ def run_bench(
             "decision_snapshot": snapshot,
             "per_decision": per_decision,
             "disruption": disruption,
+            "correlated": correlated,
             "sweep": sweep,
         },
     }
@@ -422,6 +501,19 @@ def _flatten(report: dict[str, Any]) -> dict[str, float]:
         ):
             if key in dis:
                 flat[f"{base}.{key}"] = float(dis[key])
+    corr = metrics.get("correlated", {})
+    if corr:
+        base = (
+            f"correlated[{corr.get('scenario')}/{corr.get('scheduler')}"
+            f"/{corr.get('n_jobs')}@{corr.get('topology')}]"
+        )
+        for key in (
+            "clean_us_per_decision",
+            "correlated_us_per_decision",
+            "overhead_ratio",
+        ):
+            if key in corr:
+                flat[f"{base}.{key}"] = float(corr[key])
     sweep = metrics.get("sweep", {})
     if "wall_s" in sweep:
         flat[f"sweep[{sweep.get('cells')}].wall_s"] = float(sweep["wall_s"])
@@ -524,6 +616,18 @@ def render_report(report: dict[str, Any]) -> str:
             f"  clean {dis['clean_us_per_decision']:.1f} us/decision vs "
             f"disrupted {dis['disrupted_us_per_decision']:.1f} us/decision "
             f"(overhead x{dis['overhead_ratio']:.2f})",
+        ]
+    corr = m.get("correlated")
+    if corr:
+        lines += [
+            "",
+            f"correlated ({corr['scenario']}/{corr['scheduler']} "
+            f"n={corr['n_jobs']} on {corr['topology']}, "
+            f"{corr['n_preemptions']} preemptions, "
+            f"blast {corr['largest_event_loss_node_hours']:.1f} nh):",
+            f"  clean {corr['clean_us_per_decision']:.1f} us/decision vs "
+            f"correlated {corr['correlated_us_per_decision']:.1f} "
+            f"us/decision (overhead x{corr['overhead_ratio']:.2f})",
         ]
     sweep = m["sweep"]
     lines += [

@@ -32,7 +32,8 @@ from repro.sim.disruptions import (
     DisruptionSpec,
     get_disruption_preset,
 )
-from repro.workloads.scenarios import SCENARIOS
+from repro.sim.topology import ClusterTopology
+from repro.workloads.scenarios import CLUSTER_NODES, SCENARIOS
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -93,8 +94,38 @@ def _add_disruption_args(p: argparse.ArgumentParser) -> None:
         ),
     )
     g.add_argument(
+        "--rack-mtbf", type=float, default=None,
+        help=(
+            "mean time between correlated shocks per failure domain "
+            "(seconds); enables whole-block rack/switch failures"
+        ),
+    )
+    g.add_argument(
+        "--correlation", type=float, default=None,
+        help=(
+            "fraction of the struck domain each shock kills, in (0, 1] "
+            "(default 1.0: the whole rack/switch group)"
+        ),
+    )
+    g.add_argument(
+        "--correlation-level", choices=["rack", "switch"], default=None,
+        help="hierarchy level the shock process runs at (default rack)",
+    )
+    g.add_argument(
         "--disruption-seed", type=int, default=None,
         help="seed for the failure RNG streams (default 0)",
+    )
+    t = p.add_argument_group("topology")
+    t.add_argument(
+        "--rack-size", type=int, default=None,
+        help=(
+            f"nodes per rack over the {CLUSTER_NODES}-node partition "
+            "(default: flat — no failure domains)"
+        ),
+    )
+    t.add_argument(
+        "--racks-per-switch", type=int, default=None,
+        help="racks per switch group (default 1; requires --rack-size)",
     )
     g.add_argument(
         "--restart-policy",
@@ -154,6 +185,12 @@ def _build_disruption_spec(args) -> Optional[DisruptionSpec]:
         overrides["drain_lead"] = args.drain_lead
     if args.drain_first is not None:
         overrides["drain_first"] = args.drain_first
+    if args.rack_mtbf is not None:
+        overrides["rack_mtbf"] = args.rack_mtbf
+    if args.correlation is not None:
+        overrides["correlation"] = args.correlation
+    if args.correlation_level is not None:
+        overrides["correlation_level"] = args.correlation_level
     if args.disruption_seed is not None:
         overrides["seed"] = args.disruption_seed
     if overrides:
@@ -163,7 +200,38 @@ def _build_disruption_spec(args) -> Optional[DisruptionSpec]:
             base = dataclasses.replace(base, **overrides)
         except ValueError as exc:
             raise DisruptionArgsError(str(exc)) from exc
+    if (
+        (args.correlation is not None or args.correlation_level is not None)
+        and base.rack_mtbf is None
+    ):
+        raise DisruptionArgsError(
+            "--correlation/--correlation-level need --rack-mtbf (or a "
+            "correlated preset) to have any effect"
+        )
     return base if base else None
+
+
+def _build_topology(args) -> Optional[ClusterTopology]:
+    """Topology flags → :class:`ClusterTopology` over the paper's
+    partition; ``None`` (flat) when no flag was given."""
+    if args.rack_size is None:
+        if args.racks_per_switch is not None:
+            raise DisruptionArgsError(
+                "--racks-per-switch requires --rack-size"
+            )
+        return None
+    try:
+        return ClusterTopology(
+            n_nodes=CLUSTER_NODES,
+            rack_size=args.rack_size,
+            racks_per_switch=(
+                1
+                if args.racks_per_switch is None
+                else args.racks_per_switch
+            ),
+        )
+    except ValueError as exc:
+        raise DisruptionArgsError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -442,6 +510,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         store = RunStore(args.out) if args.out else None
         try:
             disruption_spec = _build_disruption_spec(args)
+            topology = _build_topology(args)
         except DisruptionArgsError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -466,6 +535,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 disruptions=disruption_spec,
                 restart_policy=restart_policy,
                 checkpoint_interval=args.checkpoint_interval,
+                topology=topology,
                 workers=args.workers,
                 store=store,
                 resume=args.resume,
@@ -493,6 +563,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             disruptions=disruption_spec,
             restart_policy=restart_policy,
             checkpoint_interval=args.checkpoint_interval,
+            topology=topology,
         )
         if args.resume:
             print(f"resumed: {len(cells) - len(runs)} cells already in "
@@ -561,6 +632,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "run":
         try:
             disruption_spec = _build_disruption_spec(args)
+            topology = _build_topology(args)
         except DisruptionArgsError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -574,6 +646,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             arrival_mode=args.arrival_mode,
             enforce_walltime=args.enforce_walltime,
             max_decisions=args.max_decisions,
+            topology=topology,
             disruptions=disruption_spec,
             restart_policy=restart_policy,
             checkpoint_interval=args.checkpoint_interval,
@@ -585,6 +658,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workload_seed=args.seed,
             arrival_mode=args.arrival_mode,
             enforce_walltime=args.enforce_walltime,
+            topology=topology,
             disruptions=disruption_spec,
             restart_policy=restart_policy,
             checkpoint_interval=args.checkpoint_interval,
@@ -608,6 +682,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"drains={kills.get('drain', 0)}, "
                 f"voluntary={kills.get('preempt', 0)})"
             )
+            domain_kills = run.result.extras.get("domain_kills")
+            if domain_kills:
+                per_domain = ", ".join(
+                    f"{dom}={n}" for dom, n in domain_kills.items()
+                )
+                print(
+                    f"blast radius [{run.topology_sig}]: kills by "
+                    f"domain: {per_domain}"
+                )
         if run.overhead is not None:
             print(f"\nLLM overhead: {run.overhead.latency}")
             print(f"total elapsed (accepted placements): "

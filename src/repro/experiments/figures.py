@@ -51,12 +51,12 @@ BASELINE = "fcfs"
 # ---------------------------------------------------------------------------
 
 #: Key of one workload instance inside a sweep:
-#: (scenario, n_jobs, workload_seed, arrival_mode).
-#: (scenario, n_jobs, workload_seed, arrival_mode, disruption_sig) —
-#: the disruption regime is part of the workload-instance identity so
-#: disrupted and undisrupted runs of the same seeds never merge into
-#: one normalized block.
-InstanceKey = tuple[str, int, int, str, str]
+#: (scenario, n_jobs, workload_seed, arrival_mode, disruption_sig,
+#: topology_sig) — the disruption regime and cluster topology are part
+#: of the workload-instance identity so disrupted/undisrupted runs and
+#: different rack layouts of the same seeds never merge into one
+#: normalized block.
+InstanceKey = tuple[str, int, int, str, str, str]
 
 
 class RunLike(Protocol):
@@ -100,6 +100,7 @@ def matrix_blocks(
             run.workload_seed,
             getattr(run, "arrival_mode", "scenario"),
             str(sig),
+            str(getattr(run, "topology_sig", "flat")),
         )
         grouped.setdefault(key, {}).setdefault(run.scheduler, []).append(
             dict(run.values)

@@ -33,6 +33,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.store import CellKey, RunStore, cell_key
 from repro.sim.disruptions import DisruptionSpec, disruption_signature
+from repro.sim.topology import ClusterTopology, topology_signature
 from repro.workloads.generator import ArrivalMode
 
 #: Progress callback: (cell, completed runs so far, total cells).
@@ -43,10 +44,11 @@ ProgressFn = Callable[["MatrixCell", int, int], None]
 class MatrixCell:
     """Identity of one independent simulation in a sweep.
 
-    The disruption fields ride along because a worker must be able to
-    reconstruct the cell bit-for-bit from the cell alone: the spec is
-    frozen/picklable plain data, and the trace it builds depends only
-    on (spec, cluster size, workload) — never on which worker runs it.
+    The disruption and topology fields ride along because a worker
+    must be able to reconstruct the cell bit-for-bit from the cell
+    alone: spec and topology are frozen/picklable plain data, and the
+    trace they build depends only on (spec, topology, cluster size,
+    workload) — never on which worker runs it.
     """
 
     scenario: str
@@ -58,6 +60,7 @@ class MatrixCell:
     disruptions: Optional[DisruptionSpec] = None
     restart_policy: str = "resubmit"
     checkpoint_interval: Optional[float] = None
+    topology: Optional[ClusterTopology] = None
 
     @property
     def key(self) -> CellKey:
@@ -73,6 +76,7 @@ class MatrixCell:
                 self.restart_policy,
                 self.checkpoint_interval,
             ),
+            topology_signature(self.topology),
         )
 
 
@@ -87,18 +91,20 @@ def expand_cells(
     disruptions: Optional[DisruptionSpec] = None,
     restart_policy: str = "resubmit",
     checkpoint_interval: Optional[float] = None,
+    topology: Optional[ClusterTopology] = None,
 ) -> list[MatrixCell]:
     """Enumerate the full matrix in canonical (deterministic) order.
 
     Nesting matches :func:`~repro.experiments.runner.run_matrix` —
     scenario → size → scheduler — with seed replication innermost, so a
     single-seed parallel sweep returns runs in exactly the serial
-    order. Disruption settings apply uniformly to every cell.
+    order. Disruption and topology settings apply uniformly to every
+    cell.
     """
     return [
         MatrixCell(
             scenario, n_jobs, scheduler, wseed, sseed, arrival_mode,
-            disruptions, restart_policy, checkpoint_interval,
+            disruptions, restart_policy, checkpoint_interval, topology,
         )
         for scenario in scenarios
         for n_jobs in sizes
@@ -128,6 +134,7 @@ def _execute_cell(cell: MatrixCell) -> ExperimentRun:
         disruptions=cell.disruptions,
         restart_policy=cell.restart_policy,
         checkpoint_interval=cell.checkpoint_interval,
+        topology=cell.topology,
     )
 
 
@@ -224,6 +231,7 @@ def run_matrix_parallel(
     disruptions: Optional[DisruptionSpec] = None,
     restart_policy: str = "resubmit",
     checkpoint_interval: Optional[float] = None,
+    topology: Optional[ClusterTopology] = None,
     workers: Optional[int] = None,
     store: Optional[Union[RunStore, str, Path]] = None,
     resume: bool = False,
@@ -258,6 +266,7 @@ def run_matrix_parallel(
         disruptions=disruptions,
         restart_policy=restart_policy,
         checkpoint_interval=checkpoint_interval,
+        topology=topology,
     )
     return run_cells(
         cells,

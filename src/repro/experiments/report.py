@@ -35,6 +35,10 @@ DISRUPTION_LABELS: dict[str, str] = {
     "n_kills": "kills",
     "work_lost_per_kill": "lost/kill",
     "mean_requeue_latency": "requeue_s",
+    # Blast-radius columns (correlated/domain-event runs only).
+    "largest_event_loss_node_hours": "blast_nh",
+    "n_domain_kills": "dom_kills",
+    "domains_hit": "domains",
 }
 
 
@@ -90,7 +94,8 @@ def render_normalized_block(
 
 def render_matrix_blocks(
     blocks: Mapping[
-        tuple[str, int, int, str], Mapping[str, Mapping[str, float]]
+        tuple[str, int, int, str, str, str],
+        Mapping[str, Mapping[str, float]],
     ],
 ) -> str:
     """Render a whole sweep (e.g. loaded from a ``RunStore``) as one
@@ -98,24 +103,26 @@ def render_matrix_blocks(
 
     *blocks* is the output of
     :func:`repro.experiments.figures.matrix_blocks`, keyed by
-    (scenario, n_jobs, workload_seed, arrival_mode, disruption_sig).
-    Blocks without an ``fcfs`` baseline carry raw metric values
-    (matrix_blocks leaves them unnormalized), so the header says which
-    it is.
+    (scenario, n_jobs, workload_seed, arrival_mode, disruption_sig,
+    topology_sig). Blocks without an ``fcfs`` baseline carry raw
+    metric values (matrix_blocks leaves them unnormalized), so the
+    header says which it is.
     """
     parts = [
         render_normalized_block(
             block,
             f"{scenario}, {n_jobs} jobs, seed {seed}"
             + ("" if mode == "scenario" else f", {mode} arrivals")
-            + ("" if sig == "none" else f", disruptions [{sig}]"),
+            + ("" if sig == "none" else f", disruptions [{sig}]")
+            + ("" if topo == "flat" else f", topology [{topo}]"),
             suffix=(
                 "(normalized to FCFS = 1.0)"
                 if "fcfs" in block
                 else "(raw values; no fcfs baseline in sweep)"
             ),
         )
-        for (scenario, n_jobs, seed, mode, sig), block in blocks.items()
+        for (scenario, n_jobs, seed, mode, sig, topo), block
+        in blocks.items()
     ]
     return "\n\n".join(parts)
 

@@ -27,6 +27,7 @@ from repro.sim.disruptions import (
 from repro.sim.job import Job
 from repro.sim.schedule import ScheduleResult
 from repro.sim.simulator import HPCSimulator
+from repro.sim.topology import ClusterTopology, topology_signature
 from repro.workloads.generator import ArrivalMode, generate_workload
 
 #: The paper's §3.3 comparison set, in figure-legend order.
@@ -107,6 +108,10 @@ class ExperimentRun:
     disruption_spec: Optional[DisruptionSpec] = None
     restart_policy: str = "resubmit"
     checkpoint_interval: Optional[float] = None
+    #: Cluster topology identity; "flat" (no failure domains) unless a
+    #: topology was attached. Part of the cell identity — the same
+    #: correlated spec builds a different trace on a different layout.
+    topology_sig: str = "flat"
 
     @property
     def values(self) -> dict[str, float]:
@@ -123,6 +128,7 @@ class ExperimentRun:
             self.scheduler_seed,
             self.arrival_mode,
             self.disruption_sig,
+            self.topology_sig,
         )
 
 
@@ -136,6 +142,7 @@ def run_single(
     arrival_mode: ArrivalMode = "scenario",
     jobs: Optional[Sequence[Job]] = None,
     cluster: Optional[ClusterModel] = None,
+    topology: Optional[ClusterTopology] = None,
     max_retries: int = 3,
     max_decisions: Optional[int] = None,
     enforce_walltime: bool = False,
@@ -154,15 +161,21 @@ def run_single(
     cluster:
         Cluster model override (defaults to the paper's 256/2048
         partition).
+    topology:
+        Optional node → rack → switch hierarchy for the default
+        cluster; drives correlated-failure traces, domain-scoped
+        drains, and spread placement, and enters the cell identity.
+        To combine with a *cluster* override, attach the topology to
+        the cluster directly instead (passing both is an error).
     max_retries / max_decisions / enforce_walltime:
         Forwarded to :class:`HPCSimulator` (retry tolerance, decision
         budget, walltime-kill semantics).
     disruptions:
         Optional :class:`~repro.sim.disruptions.DisruptionSpec`; its
         trace is materialized deterministically from the workload (the
-        horizon estimate depends only on the jobs and cluster size), so
-        the same cell identity always replays the same disruptions —
-        in-process, across processes, serial or parallel.
+        horizon estimate depends only on the jobs, cluster size, and
+        topology), so the same cell identity always replays the same
+        disruptions — in-process, across processes, serial or parallel.
     restart_policy / checkpoint_interval:
         Recovery semantics for killed jobs (see
         :class:`~repro.sim.simulator.HPCSimulator`).
@@ -175,13 +188,23 @@ def run_single(
         )
     else:
         job_list = list(jobs)
-    the_cluster = cluster if cluster is not None else ResourcePool()
+    if cluster is not None and topology is not None:
+        raise ValueError(
+            "pass either cluster= or topology=, not both — attach the "
+            "topology to the cluster model instead"
+        )
+    if cluster is not None:
+        the_cluster = cluster
+    else:
+        the_cluster = ResourcePool(topology=topology)
+    the_topology = getattr(the_cluster, "topology", None)
     trace: Optional[DisruptionTrace] = None
     spec = disruptions if disruptions else None
     if spec is not None:
         trace = spec.build(
             n_nodes=the_cluster.total_nodes,
             horizon=estimate_horizon(job_list, the_cluster.total_nodes),
+            topology=the_topology,
         )
     sched = create_scheduler(scheduler, seed=scheduler_seed)
     sim = HPCSimulator(
@@ -214,6 +237,7 @@ def run_single(
         disruption_spec=spec,
         restart_policy=restart_policy,
         checkpoint_interval=checkpoint_interval,
+        topology_sig=topology_signature(the_topology),
     )
 
 
@@ -228,13 +252,14 @@ def run_matrix(
     disruptions: Optional[DisruptionSpec] = None,
     restart_policy: str = "resubmit",
     checkpoint_interval: Optional[float] = None,
+    topology: Optional[ClusterTopology] = None,
 ) -> list[ExperimentRun]:
     """Cross product of scenarios × sizes × schedulers.
 
     Workloads are generated once per (scenario, size) so every
     scheduler sees the identical instance — the comparison the paper
-    makes. A disruption spec, when given, applies to every cell (each
-    cell materializes its own deterministic trace).
+    makes. A disruption spec or topology, when given, applies to every
+    cell (each cell materializes its own deterministic trace).
     """
     runs: list[ExperimentRun] = []
     for scenario in scenarios:
@@ -252,6 +277,7 @@ def run_matrix(
                         scheduler_seed=scheduler_seed,
                         arrival_mode=arrival_mode,
                         jobs=jobs,
+                        topology=topology,
                         disruptions=disruptions,
                         restart_policy=restart_policy,
                         checkpoint_interval=checkpoint_interval,

@@ -33,17 +33,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: any version up to the current one (older lines keep their shape).
 #: v2 added the disruption columns (``disruption`` config dict +
 #: ``disruption_sig`` identity string); v1 lines load with both
-#: defaulting to "no disruptions".
-SCHEMA_VERSION = 2
+#: defaulting to "no disruptions". v3 added ``topology_sig`` (cluster
+#: topology identity, part of the cell key — the correlated-failure
+#: trace a spec builds depends on the rack layout, so the same seeds
+#: on a different topology are a different experiment); v1/v2 lines
+#: load with it defaulting to "flat", which is exactly the topology
+#: they ran under.
+SCHEMA_VERSION = 3
 
 #: Identity of one matrix cell: (scenario, n_jobs, scheduler,
-#: workload_seed, scheduler_seed, arrival_mode, disruption_sig).
-#: arrival_mode is part of the identity because the same (scenario,
-#: seed) generates a different workload under "zero" arrivals, and
-#: disruption_sig because the same workload under a different failure
-#: regime (or restart policy) is a different experiment — resume must
-#: not treat one regime's runs as covering another.
-CellKey = tuple[str, int, str, int, int, str, str]
+#: workload_seed, scheduler_seed, arrival_mode, disruption_sig,
+#: topology_sig). arrival_mode is part of the identity because the
+#: same (scenario, seed) generates a different workload under "zero"
+#: arrivals; disruption_sig because the same workload under a
+#: different failure regime (or restart policy) is a different
+#: experiment; topology_sig because a correlated regime's trace (and
+#: spread placement) depends on the rack layout — resume must not
+#: treat one regime's runs as covering another.
+CellKey = tuple[str, int, str, int, int, str, str, str]
 
 
 def cell_key(
@@ -54,10 +61,12 @@ def cell_key(
     scheduler_seed: int,
     arrival_mode: str = "scenario",
     disruption: str = "none",
+    topology: str = "flat",
 ) -> CellKey:
     """Canonical dictionary/set key for one experiment cell."""
     return (scenario, int(n_jobs), scheduler, int(workload_seed),
-            int(scheduler_seed), str(arrival_mode), str(disruption))
+            int(scheduler_seed), str(arrival_mode), str(disruption),
+            str(topology))
 
 
 @dataclass(frozen=True)
@@ -88,6 +97,9 @@ class StoredRun:
     #: Disruption configuration & outcome columns for disrupted cells
     #: (spec parameters, restart policy, kill counts), else ``None``.
     disruption: Optional[dict[str, Any]] = None
+    #: Cluster topology identity ("flat" = no failure domains — the
+    #: default, and what every pre-v3 line ran under).
+    topology_sig: str = "flat"
     schema_version: int = SCHEMA_VERSION
 
     @property
@@ -100,6 +112,7 @@ class StoredRun:
             self.scheduler_seed,
             self.arrival_mode,
             self.disruption_sig,
+            self.topology_sig,
         )
 
     @property
@@ -143,6 +156,12 @@ class StoredRun:
                     run.result.extras.get("disruption_kills", {})
                 ),
             }
+            # Per-domain attribution only exists for correlated /
+            # domain-event traces; zero-correlation lines keep the
+            # exact pre-topology shape.
+            domain_kills = run.result.extras.get("domain_kills")
+            if domain_kills is not None:
+                disruption["domain_kills"] = dict(domain_kills)
         return cls(
             scenario=run.scenario,
             n_jobs=run.n_jobs,
@@ -155,6 +174,7 @@ class StoredRun:
             overhead=overhead,
             disruption_sig=run.disruption_sig,
             disruption=disruption,
+            topology_sig=run.topology_sig,
         )
 
     # -- (de)serialization ----------------------------------------------
@@ -194,6 +214,7 @@ class StoredRun:
                 overhead=payload.get("overhead"),
                 disruption_sig=str(payload.get("disruption_sig", "none")),
                 disruption=payload.get("disruption"),
+                topology_sig=str(payload.get("topology_sig", "flat")),
                 schema_version=version,
             )
         except (KeyError, TypeError, AttributeError) as exc:

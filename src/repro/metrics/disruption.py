@@ -16,24 +16,50 @@ is where they differentiate:
 * **requeue latency** — mean seconds a killed job waited between its
   eviction and its restart.
 
+Runs whose trace carries *domain-level* events (correlated rack/switch
+shocks, domain-scoped drains) additionally report the **blast-radius**
+objectives:
+
+* **largest event loss** — the worst single event's total discarded
+  node-hours, grouping every involuntary kill at one (time, reason,
+  domain) into one event: the quantity a whole-rack shock maximizes
+  and independent node churn cannot;
+* **domain kills / domains hit** — involuntary kills attributed to a
+  named failure domain, and how many distinct domains were struck.
+
 These are computed from the :class:`~repro.sim.schedule.ScheduleResult`
 preemption log and appear in :func:`~repro.metrics.objectives.compute_metrics`
 output only for disrupted runs, so undisrupted reports/stores remain
-byte-identical to the pre-disruption code.
+byte-identical to the pre-disruption code — and the blast-radius
+columns appear only for domain-event traces, so zero-correlation
+disrupted runs keep the exact PR-3 metric set.
 """
 
 from __future__ import annotations
 
 from repro.sim.schedule import ScheduleResult
 
-#: Extra metric columns disrupted runs report, in display order.
-DISRUPTION_METRIC_NAMES: tuple[str, ...] = (
+#: Metric columns every disrupted run reports, in display order.
+CORE_DISRUPTION_METRIC_NAMES: tuple[str, ...] = (
     "goodput_node_hours",
     "wasted_node_hours",
     "goodput_fraction",
     "n_kills",
     "work_lost_per_kill",
     "mean_requeue_latency",
+)
+
+#: Blast-radius columns, reported only by runs whose trace carried
+#: domain-level events (correlated shocks, domain-scoped drains).
+BLAST_METRIC_NAMES: tuple[str, ...] = (
+    "largest_event_loss_node_hours",
+    "n_domain_kills",
+    "domains_hit",
+)
+
+#: Every reliability column a report may render, in display order.
+DISRUPTION_METRIC_NAMES: tuple[str, ...] = (
+    CORE_DISRUPTION_METRIC_NAMES + BLAST_METRIC_NAMES
 )
 
 #: Preemption reasons that count as involuntary kills.
@@ -102,9 +128,57 @@ def mean_requeue_latency(result: ScheduleResult) -> float:
     return float(sum(latencies) / len(latencies))
 
 
-def disruption_metrics(result: ScheduleResult) -> dict[str, float]:
-    """All reliability objectives for one (disrupted) schedule."""
+def largest_event_loss_node_hours(result: ScheduleResult) -> float:
+    """Worst single disruption event's discarded node-hours.
+
+    Kills sharing (time, reason, domain) belong to one physical event:
+    a rack shock evicting five jobs at t is one event of five kills,
+    as is a drain preempting several victims at its start. The metric
+    is the blast radius a correlated regime maximizes — under
+    independent node churn every event holds one kill and this tends
+    toward ``work_lost_per_kill``'s largest sample.
+    """
+    events: dict[tuple[float, str, "str | None"], float] = {}
+    for p in result.preemptions:
+        if p.reason not in INVOLUNTARY_REASONS:
+            continue
+        key = (p.time, p.reason, p.domain)
+        events[key] = events.get(key, 0.0) + p.lost_node_seconds
+    if not events:
+        return 0.0
+    return max(events.values()) / 3600.0
+
+
+def domain_kill_counts(result: ScheduleResult) -> dict[str, int]:
+    """Involuntary kills per named failure domain (``rack3`` → 5)."""
+    counts: dict[str, int] = {}
+    for p in result.preemptions:
+        if p.reason in INVOLUNTARY_REASONS and p.domain is not None:
+            counts[p.domain] = counts.get(p.domain, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def blast_radius_metrics(result: ScheduleResult) -> dict[str, float]:
+    """Blast-radius objectives for a domain-event (correlated) run."""
+    per_domain = domain_kill_counts(result)
     return {
+        "largest_event_loss_node_hours": largest_event_loss_node_hours(
+            result
+        ),
+        "n_domain_kills": float(sum(per_domain.values())),
+        "domains_hit": float(len(per_domain)),
+    }
+
+
+def disruption_metrics(result: ScheduleResult) -> dict[str, float]:
+    """All reliability objectives for one (disrupted) schedule.
+
+    Blast-radius columns are included only when the run's trace carried
+    domain-level events (the simulator marks those via
+    ``result.extras["domain_events"]``), keeping zero-correlation runs'
+    metric dicts exactly as the pre-topology engine produced them.
+    """
+    values = {
         "goodput_node_hours": goodput_node_hours(result),
         "wasted_node_hours": wasted_node_hours(result),
         "goodput_fraction": goodput_fraction(result),
@@ -118,3 +192,6 @@ def disruption_metrics(result: ScheduleResult) -> dict[str, float]:
         "work_lost_per_kill": work_lost_per_kill(result),
         "mean_requeue_latency": mean_requeue_latency(result),
     }
+    if result.extras.get("domain_events"):
+        values.update(blast_radius_metrics(result))
+    return values

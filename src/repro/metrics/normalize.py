@@ -27,6 +27,10 @@ LOWER_BETTER: frozenset[str] = frozenset(
         "n_kills",
         "work_lost_per_kill",
         "mean_requeue_latency",
+        # Blast-radius objectives (correlated/domain-event runs only).
+        "largest_event_loss_node_hours",
+        "n_domain_kills",
+        "domains_hit",
     }
 )
 

@@ -20,6 +20,7 @@ from itertools import islice
 from typing import Sequence
 
 from repro.schedulers.base import BaseScheduler
+from repro.schedulers.recovery import domain_pressures, fits_healthy_domain
 from repro.sim.actions import Action, BackfillJob, Delay, StartJob
 from repro.sim.job import Job
 from repro.sim.simulator import RunningJob, SystemView
@@ -92,6 +93,14 @@ class EasyBackfillScheduler(BaseScheduler):
     runs, so the policy is byte-identical to plain EASY there). A
     drain-blocked head is treated like a capacity-blocked one:
     shorter/safer jobs may still backfill around it.
+
+    Topology awareness: on clusters with real failure domains, a
+    *requeued* job (one a failure or drain already evicted) is not
+    backfilled unless some healthy domain — enough free nodes after
+    announced domain-scoped drains are charged as single capacity
+    notches — can host its restart
+    (:func:`~repro.schedulers.recovery.fits_healthy_domain`). Flat
+    topologies and undisrupted runs skip the check entirely.
     """
 
     name = "fcfs_backfill"
@@ -121,8 +130,16 @@ class EasyBackfillScheduler(BaseScheduler):
             )
         # islice avoids copying the (possibly long) queue tuple per
         # decision just to skip the head.
+        spread_check = bool(view.remaining_runtimes) and view.has_domains
+        pressures = domain_pressures(view) if spread_check else ()
         for job in islice(view.queued, 1, None):
             if not view.can_fit(job) or not view.drain_safe(job):
+                continue
+            if (
+                spread_check
+                and job.job_id in view.remaining_runtimes
+                and not fits_healthy_domain(view, job, pressures)
+            ):
                 continue
             ends_before_shadow = view.now + job.walltime <= shadow + 1e-9
             fits_in_extras = (

@@ -39,7 +39,11 @@ from repro.schedulers.packing import (
     plan_makespan,
     plan_total_completion,
 )
-from repro.schedulers.recovery import effective_jobs, split_unpackable
+from repro.schedulers.recovery import (
+    effective_jobs,
+    split_unpackable,
+    spread_requeue,
+)
 from repro.sim.actions import Action, Delay, StartJob
 from repro.sim.simulator import SystemView
 
@@ -213,8 +217,13 @@ class AnnealingOptimizer(BaseScheduler):
                 pass
 
         # Initial order: largest node-seconds first (LPT flavour), a
-        # strong makespan heuristic the annealer then polishes.
+        # strong makespan heuristic the annealer then polishes. On
+        # clusters with real failure domains, requeued jobs that no
+        # healthy domain can currently host are demoted behind the
+        # rest (spread-across-domains: don't race a restart back into
+        # the failing rack); identity on flat topologies.
         order = sorted(jobs, key=lambda j: (-j.node_seconds, j.job_id))
+        order = spread_requeue(view, order)
         placements = pack_full(order)
         best_order = order
         best_obj = cur_obj = self._objective(placements, view.now)

@@ -14,6 +14,16 @@ packing, factored here so the logic cannot drift between them:
   the profile's eventual capacity and would never pack; such jobs are
   parked (planned at ``+inf``) until repairs restore capacity instead
   of crashing the packer. Skipped entirely on healthy clusters.
+
+With a non-flat :class:`~repro.sim.topology.ClusterTopology` the view
+additionally carries per-domain free capacity, and this module grows
+the *spread-across-domains* placement helpers: :func:`domain_pressures`
+(announced domain-scoped drain load per rack),
+:func:`fits_healthy_domain` (can a requeued job restart somewhere
+*outside* the failing/draining domain?), and :func:`spread_requeue`
+(demote requeued jobs that currently have no healthy domain to restart
+into). All of them are identity/no-op on flat topologies, so
+recovery-aware policies stay byte-identical on legacy runs.
 """
 
 from __future__ import annotations
@@ -62,3 +72,89 @@ def split_unpackable(
         else:
             unpackable.append(j)
     return packable, unpackable
+
+
+# ---------------------------------------------------------------------------
+# Spread-across-domains placement (topology-aware recovery)
+# ---------------------------------------------------------------------------
+
+def domain_pressures(view: SystemView) -> tuple[int, ...]:
+    """Per-rack node count claimed by announced, not-yet-started,
+    domain-scoped drains.
+
+    An announced rack drain is *one* capacity notch against that rack
+    — never N per-node events — so the pressure for rack *r* is the
+    peak of its scoped windows' node counts (windows on one domain
+    come from one maintenance plan; overlapping re-announcements do
+    not stack). Unscoped drains have no domain to charge and are
+    already handled by the aggregate ``drain_safe`` capacity test.
+    Empty for flat/absent topologies.
+    """
+    topo = view.topology
+    if topo is None or topo.is_flat:
+        return ()
+    pressure = [0] * topo.n_racks
+    for d in view.upcoming_drains:
+        if d.domain is None or d.start <= view.now:
+            continue
+        nodes = topo.domain_range(d.domain)
+        for rack in range(
+            topo.rack_of(nodes.start), topo.rack_of(nodes.stop - 1) + 1
+        ):
+            pressure[rack] = max(pressure[rack], d.nodes)
+    return tuple(pressure)
+
+
+def fits_healthy_domain(
+    view: SystemView,
+    job: Job,
+    pressures: "tuple[int, ...] | None" = None,
+) -> bool:
+    """Can *job* start inside at least one domain that is neither
+    failing nor about to drain out from under it?
+
+    Vacuously True without real domains, and for jobs wider than one
+    rack (they necessarily span domains; the aggregate drain/capacity
+    tests govern them). Used to keep requeued work from being restarted
+    straight back into the domain whose shock or announced drain just
+    evicted it.
+    """
+    if not view.has_domains:
+        return True
+    topo = view.topology
+    if job.nodes > topo.rack_size:
+        return True
+    if pressures is None:
+        pressures = domain_pressures(view)
+    for rack, free in enumerate(view.domain_free_nodes):
+        drained = pressures[rack] if pressures else 0
+        if job.nodes <= free - drained:
+            return True
+    return False
+
+
+def spread_requeue(view: SystemView, jobs: Sequence[Job]) -> list[Job]:
+    """Stable reorder of *jobs* demoting requeued jobs with no healthy
+    domain to restart into.
+
+    Requeued jobs (present in ``view.remaining_runtimes``) that
+    :func:`fits_healthy_domain` rejects move to the back of the order
+    — they wait for repairs / drain ends instead of being re-placed in
+    the failing domain — while everything else keeps its relative
+    order. Identity on flat topologies and undisrupted runs (no
+    remapping, no reorder), so plan-based optimizers consuming this are
+    bit-identical there.
+    """
+    if not view.has_domains or not view.remaining_runtimes:
+        return list(jobs)
+    pressures = domain_pressures(view)
+    healthy: list[Job] = []
+    parked: list[Job] = []
+    for job in jobs:
+        if job.job_id in view.remaining_runtimes and not fits_healthy_domain(
+            view, job, pressures
+        ):
+            parked.append(job)
+        else:
+            healthy.append(job)
+    return healthy + parked

@@ -29,11 +29,16 @@ Public surface
     used for LLM feedback lives in :mod:`repro.core.constraints`.
 :mod:`~repro.sim.disruptions`
     The fault & disruption subsystem: seeded node-failure traces,
-    maintenance drain windows, restart policies
-    (resubmit/checkpoint/preempt-migrate), and the preemption records
-    the reliability metrics consume. An empty
+    correlated domain shocks, maintenance drain windows, restart
+    policies (resubmit/checkpoint/preempt-migrate), and the preemption
+    records the reliability metrics consume. An empty
     :class:`~repro.sim.disruptions.DisruptionTrace` leaves the engine
     byte-identical to the undisrupted code path.
+:class:`~repro.sim.topology.ClusterTopology`
+    Node → rack → switch-group hierarchy: the failure domains the
+    correlated generators strike, domain-scoped drains take, and
+    spread placement balances. The flat default (one domain) is
+    behaviourally invisible.
 """
 
 from repro.sim.actions import (
@@ -51,15 +56,18 @@ from repro.sim.disruptions import (
     DISRUPTION_PRESETS,
     DisruptionSpec,
     DisruptionTrace,
+    DomainFailure,
     DrainWindow,
     NodeFailure,
     PreemptionRecord,
     RESTART_POLICIES,
+    correlated_failures,
     exponential_failures,
     periodic_drains,
     weibull_failures,
 )
 from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.topology import ClusterTopology, topology_signature
 from repro.sim.job import Job, JobState
 from repro.sim.schedule import DecisionRecord, JobRecord, ScheduleResult
 from repro.sim.simulator import HPCSimulator, SystemView
@@ -71,10 +79,12 @@ __all__ = [
     "ClusterModel",
     "ConstraintChecker",
     "DISRUPTION_PRESETS",
+    "ClusterTopology",
     "DecisionRecord",
     "Delay",
     "DisruptionSpec",
     "DisruptionTrace",
+    "DomainFailure",
     "DrainWindow",
     "Event",
     "EventKind",
@@ -95,7 +105,9 @@ __all__ = [
     "SystemView",
     "Violation",
     "ViolationKind",
+    "correlated_failures",
     "exponential_failures",
     "periodic_drains",
+    "topology_signature",
     "weibull_failures",
 ]

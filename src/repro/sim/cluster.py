@@ -21,6 +21,7 @@ from typing import Optional, Protocol, runtime_checkable
 import numpy as np
 
 from repro.sim.job import Job
+from repro.sim.topology import ClusterTopology
 
 
 @runtime_checkable
@@ -74,10 +75,15 @@ class ResourcePool:
         Partition node count (paper default 256).
     total_memory_gb:
         Partition memory capacity in GB (paper default 2048).
+    topology:
+        Optional node → rack → switch hierarchy; defaults to the flat
+        single-domain topology, under which every topology-aware code
+        path is a no-op and the pool behaves exactly as before.
     """
 
     total_nodes: int = 256
     total_memory_gb: float = 2048.0
+    topology: Optional[ClusterTopology] = None
     _free_nodes: int = field(init=False)
     _free_memory_gb: float = field(init=False)
     _allocations: dict[int, tuple[int, float]] = field(
@@ -94,6 +100,10 @@ class ResourcePool:
             raise ValueError("total_nodes must be positive")
         if self.total_memory_gb <= 0:
             raise ValueError("total_memory_gb must be positive")
+        if self.topology is None:
+            self.topology = ClusterTopology.flat(self.total_nodes)
+        else:
+            self.topology.validate_for(self.total_nodes)
         self._free_nodes = self.total_nodes
         self._free_memory_gb = float(self.total_memory_gb)
 
@@ -192,10 +202,14 @@ class ResourcePool:
         self._free_nodes += 1
         self._free_memory_gb += self._node_memory_share
 
-    def drain_take_idle(self, tag: str) -> bool:
+    def drain_take_idle(
+        self, tag: str, within: Optional[range] = None
+    ) -> bool:
         """Drain one idle node under *tag*; False if none is idle
         (the simulator must kill a running job first — see
-        :meth:`drain_victim`)."""
+        :meth:`drain_victim`). The aggregate model has no node
+        identity, so a domain restriction (*within*) cannot narrow the
+        idle pool and is ignored."""
         if self._free_nodes < 1:
             return False
         self._free_nodes -= 1
@@ -204,9 +218,10 @@ class ResourcePool:
         self._drain_tags[tag] = self._drain_tags.get(tag, 0) + 1
         return True
 
-    def drain_victim(self) -> Optional[int]:
+    def drain_victim(self, within: Optional[range] = None) -> Optional[int]:
         """Job to preempt so a drain can proceed: the most recently
-        started allocation (the "top" of the slot layout)."""
+        started allocation (the "top" of the slot layout). *within* is
+        ignored — see :meth:`drain_take_idle`."""
         if not self._allocations:
             return None
         return next(reversed(self._allocations))
@@ -252,6 +267,29 @@ class ResourcePool:
         """Instantaneous memory occupancy in [0, 1]."""
         return self.used_memory_gb / self.total_memory_gb
 
+    def domain_free_nodes(self) -> tuple[int, ...]:
+        """Free (idle, online) node count per rack.
+
+        The aggregate pool has no node identity, so the count is
+        derived from the canonical slot layout the disruption subsystem
+        already uses: busy allocations occupy slots ``[0, used)``,
+        offline nodes are pinned to the top slots, and the idle region
+        is what remains in between — each rack's free count is its
+        overlap with that region. Deterministic, and consistent with
+        :meth:`slot_victim`'s view of the world.
+        """
+        topo = self.topology
+        assert topo is not None  # set in __post_init__
+        busy = self.total_nodes - self._free_nodes - self._offline_nodes
+        idle_end = self.total_nodes - self._offline_nodes
+        out = []
+        for rack in range(topo.n_racks):
+            nodes = topo.rack_nodes(rack)
+            lo = max(nodes.start, busy)
+            hi = min(nodes.stop, idle_end)
+            out.append(max(0, hi - lo))
+        return tuple(out)
+
     def snapshot(self) -> dict[str, float]:
         """Structured state snapshot (used by prompt rendering)."""
         return {
@@ -281,6 +319,7 @@ class NodeLevelCluster:
 
     node_count: int = 256
     memory_per_node_gb: float = 8.0
+    topology: Optional[ClusterTopology] = None
     _node_free_mem: np.ndarray = field(init=False, repr=False)
     _node_owner: np.ndarray = field(init=False, repr=False)
     #: Per-node out-of-service flag (failed or draining); offline nodes
@@ -305,6 +344,10 @@ class NodeLevelCluster:
             raise ValueError("node_count must be positive")
         if self.memory_per_node_gb <= 0:
             raise ValueError("memory_per_node_gb must be positive")
+        if self.topology is None:
+            self.topology = ClusterTopology.flat(self.node_count)
+        else:
+            self.topology.validate_for(self.node_count)
         self._node_free_mem = np.full(
             self.node_count, float(self.memory_per_node_gb)
         )
@@ -346,6 +389,23 @@ class NodeLevelCluster:
         eligible = np.flatnonzero(free & enough)
         if eligible.size < job.nodes:
             return None
+        topo = self.topology
+        if topo is not None and not topo.is_flat:
+            # Spread-first-fit: a job that fits inside one rack goes to
+            # the rack with the most eligible nodes (ties: lowest rack
+            # index), keeping domains evenly loaded so one correlated
+            # shock does not wipe out a disproportionate share of the
+            # running work. Jobs wider than any single rack's supply
+            # fall back to the global first-fit scan. Gated on a
+            # non-flat topology: default clusters place identically to
+            # the pre-topology code.
+            rack_ids = eligible // topo.rack_size
+            counts = np.bincount(rack_ids, minlength=topo.n_racks)
+            fits = np.flatnonzero(counts >= job.nodes)
+            if fits.size:
+                best = int(fits[np.argmax(counts[fits])])
+                within = eligible[rack_ids == best]
+                return within[: job.nodes]
         return eligible[: job.nodes]
 
     def can_fit(self, job: Job) -> bool:
@@ -425,25 +485,42 @@ class NodeLevelCluster:
         self._node_offline[node_index] = False
         self._agg_cache = None
 
-    def drain_take_idle(self, tag: str) -> bool:
-        """Drain the highest-indexed idle online node under *tag*."""
+    @staticmethod
+    def _highest_in(mask: np.ndarray, within: Optional[range]) -> int:
+        """Highest node index satisfying *mask* inside *within* (the
+        whole machine when None); -1 if none does."""
+        if within is not None:
+            hits = np.flatnonzero(mask[within.start : within.stop])
+            return within.start + int(hits[-1]) if hits.size else -1
+        hits = np.flatnonzero(mask)
+        return int(hits[-1]) if hits.size else -1
+
+    def drain_take_idle(
+        self, tag: str, within: Optional[range] = None
+    ) -> bool:
+        """Drain the highest-indexed idle online node under *tag*.
+
+        With *within* (a domain's node range) only nodes inside that
+        block are taken — a rack-scoped maintenance window drains that
+        rack, not whichever nodes happen to be idle elsewhere.
+        """
         idle = (self._node_owner < 0) & ~self._node_offline
-        candidates = np.flatnonzero(idle)
-        if candidates.size == 0:
+        node = self._highest_in(idle, within)
+        if node < 0:
             return False
-        node = int(candidates[-1])
         self._node_offline[node] = True
         self._drain_tags.setdefault(tag, []).append(node)
         self._agg_cache = None
         return True
 
-    def drain_victim(self) -> Optional[int]:
-        """Owner of the highest-indexed occupied online node."""
+    def drain_victim(self, within: Optional[range] = None) -> Optional[int]:
+        """Owner of the highest-indexed occupied online node (within
+        the given domain block, when restricted)."""
         occupied = (self._node_owner >= 0) & ~self._node_offline
-        candidates = np.flatnonzero(occupied)
-        if candidates.size == 0:
+        node = self._highest_in(occupied, within)
+        if node < 0:
             return None
-        return int(self._node_owner[int(candidates[-1])])
+        return int(self._node_owner[node])
 
     def drain_release(self, tag: str) -> None:
         for node in self._drain_tags.pop(tag, ()):
@@ -471,6 +548,15 @@ class NodeLevelCluster:
 
     def memory_utilization(self) -> float:
         return self.used_memory_gb / self.total_memory_gb
+
+    def domain_free_nodes(self) -> tuple[int, ...]:
+        """Exact free (idle, online) node count per rack."""
+        topo = self.topology
+        assert topo is not None  # set in __post_init__
+        free = (self._node_owner < 0) & ~self._node_offline
+        rack_ids = np.flatnonzero(free) // topo.rack_size
+        counts = np.bincount(rack_ids, minlength=topo.n_racks)
+        return tuple(int(c) for c in counts)
 
     def placement_of(self, job_id: int) -> np.ndarray:
         """Node indices assigned to a running job (testing/inspection)."""

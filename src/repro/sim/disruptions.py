@@ -42,6 +42,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.sim.job import Job
+from repro.sim.topology import ClusterTopology
 
 #: Restart-policy names accepted by the simulator. ``resubmit`` loses
 #: all work on a kill; ``checkpoint`` resumes from the last periodic
@@ -65,11 +66,18 @@ def normalize_restart_policy(name: str) -> str:
 
 @dataclass(frozen=True)
 class NodeFailure:
-    """One node going down at ``time`` and returning at ``repair_time``."""
+    """One node going down at ``time`` and returning at ``repair_time``.
+
+    ``domain`` names the failure domain (e.g. ``rack3``) the node
+    belongs to when the trace was generated against a topology; it is
+    metadata only — ``None`` for independent per-node processes, so
+    pre-topology traces are unchanged.
+    """
 
     time: float
     node: int
     repair_time: float
+    domain: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not (self.time >= 0.0 and self.time == self.time):
@@ -83,18 +91,67 @@ class NodeFailure:
 
 
 @dataclass(frozen=True)
+class DomainFailure:
+    """A correlated shock: a contiguous node block dying at one instant.
+
+    One :class:`~repro.sim.events.EventKind.DOMAIN_FAILURE` event kills
+    every job touching ``nodes`` — victims are evicted in pinned
+    first-slot order within the single event, not as N independent
+    per-node failures — and the whole block returns to service together
+    at ``repair_time``. ``domain`` is the canonical label of the
+    failure domain the shock struck (``rack3``, ``switch1``), carried
+    onto the resulting :class:`PreemptionRecord` rows so blast-radius
+    metrics can attribute losses per domain.
+    """
+
+    time: float
+    nodes: tuple[int, ...]
+    repair_time: float
+    domain: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.nodes, tuple):
+            object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not (self.time >= 0.0 and self.time == self.time):
+            raise ValueError(f"failure time must be finite and >= 0: {self}")
+        if not self.nodes:
+            raise ValueError(f"domain failure must strike >= 1 node: {self}")
+        if any(n < 0 for n in self.nodes):
+            raise ValueError(f"node indices must be non-negative: {self}")
+        if list(self.nodes) != sorted(set(self.nodes)):
+            raise ValueError(
+                f"domain failure nodes must be strictly ascending: {self}"
+            )
+        if not self.repair_time > self.time:
+            raise ValueError(
+                f"repair_time must be after the failure: {self}"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
 class DrainWindow:
     """A scheduled maintenance window taking ``nodes`` nodes offline.
 
     ``announce_time`` is when the window becomes visible to schedulers
     (via ``SystemView.upcoming_drains``); it defaults to ``start``
     (no advance notice) and is clamped to 0.
+
+    ``domain`` optionally pins the drain to one failure domain
+    (``rack2``): node-identity cluster models then take the drained
+    nodes from that domain's block instead of the global idle pool,
+    and schedulers still see the window as a single capacity notch of
+    ``nodes`` (never N per-node events).
     """
 
     start: float
     end: float
     nodes: int
     announce_time: float = -1.0
+    domain: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.announce_time < 0:
@@ -135,12 +192,22 @@ class DisruptionTrace:
 
     failures: tuple[NodeFailure, ...] = ()
     drains: tuple[DrainWindow, ...] = ()
+    #: Correlated shocks (rack/switch-level events). Cross-type overlap
+    #: with single-node failures is legal — a shock may strike a node
+    #: that is already down; the engine treats already-offline nodes as
+    #: no-ops with pinned semantics — but two shocks on the same domain
+    #: process may not overlap in time on any node.
+    domain_failures: tuple[DomainFailure, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.failures, tuple):
             object.__setattr__(self, "failures", tuple(self.failures))
         if not isinstance(self.drains, tuple):
             object.__setattr__(self, "drains", tuple(self.drains))
+        if not isinstance(self.domain_failures, tuple):
+            object.__setattr__(
+                self, "domain_failures", tuple(self.domain_failures)
+            )
         # Canonical event order: by time, then node/start for full
         # determinism independent of construction order.
         object.__setattr__(
@@ -153,9 +220,21 @@ class DisruptionTrace:
             "drains",
             tuple(sorted(self.drains, key=lambda d: (d.start, d.end))),
         )
+        object.__setattr__(
+            self,
+            "domain_failures",
+            tuple(
+                sorted(
+                    self.domain_failures,
+                    key=lambda df: (df.time, df.nodes[0]),
+                )
+            ),
+        )
         # A node must be up to fail: per-node failure intervals may not
         # overlap (generators guarantee this; hand-built traces are
-        # validated).
+        # validated). Single-node processes and domain shocks are
+        # validated independently — overlap *across* the two kinds is
+        # tolerated by the engine.
         last_up: dict[int, float] = {}
         for f in self.failures:
             if f.time < last_up.get(f.node, 0.0):
@@ -164,13 +243,32 @@ class DisruptionTrace:
                     f"previous repair at {last_up[f.node]:g}"
                 )
             last_up[f.node] = f.repair_time
+        domain_up: dict[int, float] = {}
+        for df in self.domain_failures:
+            for node in df.nodes:
+                if df.time < domain_up.get(node, 0.0):
+                    raise ValueError(
+                        f"domain failure {df.domain or df.nodes[0]} strikes "
+                        f"node {node} at {df.time:g} before its previous "
+                        f"shock repairs at {domain_up[node]:g}"
+                    )
+                domain_up[node] = df.repair_time
 
     def __bool__(self) -> bool:
-        return bool(self.failures or self.drains)
+        return bool(self.failures or self.drains or self.domain_failures)
 
     @property
     def n_events(self) -> int:
-        return len(self.failures) + len(self.drains)
+        return (
+            len(self.failures)
+            + len(self.drains)
+            + len(self.domain_failures)
+        )
+
+    @property
+    def n_correlated_node_failures(self) -> int:
+        """Total node-downings delivered by correlated shocks."""
+        return sum(df.n_nodes for df in self.domain_failures)
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +349,72 @@ def _renewal_failures(
     return tuple(sorted(failures, key=lambda f: (f.time, f.node)))
 
 
+def correlated_failures(
+    *,
+    topology: "ClusterTopology",
+    horizon: float,
+    domain_mtbf: float,
+    mttr: float,
+    correlation: float = 1.0,
+    level: str = "rack",
+    seed: int | np.random.SeedSequence = 0,
+) -> tuple[DomainFailure, ...]:
+    """Per-domain shock processes: correlated whole-block failures.
+
+    Every domain at *level* (rack or switch group) runs an independent
+    alternating renewal process — shock inter-arrival ~ Exp(domain_mtbf),
+    down-time ~ Exp(mttr) — on its own RNG stream spawned from *seed*,
+    so adding racks never perturbs the shocks an existing rack draws.
+    Each shock fails one contiguous node block inside the domain:
+    ``max(1, round(correlation * domain_size))`` nodes at an offset
+    drawn uniformly within the domain (``correlation = 1`` takes the
+    whole domain; small values approximate a shared-PDU partial
+    outage). All randomness is drawn up front — the trace is plain
+    data, bit-identical across runs, processes, and serial vs.
+    parallel matrix execution.
+    """
+    if domain_mtbf <= 0 or mttr <= 0:
+        raise ValueError(
+            f"domain_mtbf and mttr must be positive ({domain_mtbf}, {mttr})"
+        )
+    if not 0.0 < correlation <= 1.0:
+        raise ValueError(
+            f"correlation must be in (0, 1], got {correlation}"
+        )
+    if not horizon > 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    n_domains = topology.n_domains(level)
+    base = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    shocks: list[DomainFailure] = []
+    for domain, child in enumerate(base.spawn(n_domains)):
+        rng = np.random.default_rng(child)
+        nodes = topology.domain_nodes(level, domain)
+        size = len(nodes)
+        block = max(1, round(correlation * size))
+        label = topology.domain_label(level, domain)
+        t = float(rng.exponential(domain_mtbf))
+        while t < horizon:
+            down = max(float(rng.exponential(mttr)), 1e-6)
+            offset = int(rng.integers(0, size - block + 1))
+            struck = tuple(
+                range(nodes.start + offset, nodes.start + offset + block)
+            )
+            shocks.append(
+                DomainFailure(
+                    time=t,
+                    nodes=struck,
+                    repair_time=t + down,
+                    domain=label,
+                )
+            )
+            t += down + float(rng.exponential(domain_mtbf))
+    return tuple(sorted(shocks, key=lambda df: (df.time, df.nodes[0])))
+
+
 def periodic_drains(
     *,
     first_start: float,
@@ -259,10 +423,12 @@ def periodic_drains(
     nodes: int,
     horizon: float,
     announce_lead: float = 0.0,
+    domain: Optional[str] = None,
 ) -> tuple[DrainWindow, ...]:
     """Deterministic maintenance windows: every ``every`` seconds from
     ``first_start`` until ``horizon``, each taking ``nodes`` nodes for
-    ``duration`` seconds and announced ``announce_lead`` ahead."""
+    ``duration`` seconds and announced ``announce_lead`` ahead.
+    *domain* optionally pins every window to one failure domain."""
     if every <= 0 or duration <= 0:
         raise ValueError("drain period and duration must be positive")
     if announce_lead < 0:
@@ -276,6 +442,7 @@ def periodic_drains(
                 end=start + duration,
                 nodes=nodes,
                 announce_time=max(0.0, start - announce_lead),
+                domain=domain,
             )
         )
         start += every
@@ -328,6 +495,18 @@ class DisruptionSpec:
     drain_lead: float = 1800.0
     #: Offset of the first drain window.
     drain_first: float = 7200.0
+    #: Mean time between correlated shocks *per failure domain*
+    #: (seconds); None disables correlated failures. Repairs reuse
+    #: ``mttr``. Requires a (non-flat, for meaningful domains) cluster
+    #: topology at :meth:`build` time; against a flat topology the
+    #: single domain is the whole machine.
+    rack_mtbf: Optional[float] = None
+    #: Fraction of the struck domain each shock takes down, in (0, 1]
+    #: (1.0 = the whole rack/switch group dies as one block).
+    correlation: float = 1.0
+    #: Hierarchy level the shock process runs at: ``rack`` or
+    #: ``switch``.
+    correlation_level: str = "rack"
     #: Seed for the failure RNG streams.
     seed: int = 0
 
@@ -346,6 +525,19 @@ class DisruptionSpec:
         if self.weibull_shape <= 0:
             raise ValueError(
                 f"weibull_shape must be positive, got {self.weibull_shape}"
+            )
+        if self.rack_mtbf is not None and self.rack_mtbf <= 0:
+            raise ValueError(
+                f"rack_mtbf must be positive, got {self.rack_mtbf}"
+            )
+        if not 0.0 < self.correlation <= 1.0:
+            raise ValueError(
+                f"correlation must be in (0, 1], got {self.correlation}"
+            )
+        if self.correlation_level not in ("rack", "switch"):
+            raise ValueError(
+                f"correlation_level must be 'rack' or 'switch', "
+                f"got {self.correlation_level!r}"
             )
         if self.drain_every is not None:
             if self.drain_nodes <= 0:
@@ -370,11 +562,27 @@ class DisruptionSpec:
                 )
 
     def __bool__(self) -> bool:
-        return self.mtbf is not None or self.drain_every is not None
+        return (
+            self.mtbf is not None
+            or self.drain_every is not None
+            or self.rack_mtbf is not None
+        )
 
-    def build(self, *, n_nodes: int, horizon: float) -> DisruptionTrace:
+    def build(
+        self,
+        *,
+        n_nodes: int,
+        horizon: float,
+        topology: Optional[ClusterTopology] = None,
+    ) -> DisruptionTrace:
         """Materialize the trace for a cluster of *n_nodes* over
-        ``[0, horizon)``."""
+        ``[0, horizon)``.
+
+        *topology* drives the correlated (``rack_mtbf``) shock process;
+        it defaults to the flat topology, under which the single domain
+        is the whole machine. Uncorrelated specs ignore it entirely, so
+        pre-topology call sites build identical traces.
+        """
         failures: tuple[NodeFailure, ...] = ()
         if self.mtbf is not None:
             if self.failure_model == "weibull":
@@ -387,6 +595,25 @@ class DisruptionSpec:
                     n_nodes=n_nodes, horizon=horizon, mtbf=self.mtbf,
                     mttr=self.mttr, seed=self.seed,
                 )
+        domain_failures: tuple[DomainFailure, ...] = ()
+        if self.rack_mtbf is not None:
+            topo = (
+                topology.validate_for(n_nodes)
+                if topology is not None
+                else ClusterTopology.flat(n_nodes)
+            )
+            domain_failures = correlated_failures(
+                topology=topo,
+                horizon=horizon,
+                domain_mtbf=self.rack_mtbf,
+                mttr=self.mttr,
+                correlation=self.correlation,
+                level=self.correlation_level,
+                # Offset stream: a spec with both per-node and
+                # correlated processes must not feed the same seed to
+                # both generators (their draws would be correlated).
+                seed=np.random.SeedSequence((self.seed, 1)),
+            )
         drains: tuple[DrainWindow, ...] = ()
         if self.drain_every is not None:
             drains = periodic_drains(
@@ -397,10 +624,19 @@ class DisruptionSpec:
                 horizon=horizon,
                 announce_lead=self.drain_lead,
             )
-        return DisruptionTrace(failures=failures, drains=drains)
+        return DisruptionTrace(
+            failures=failures,
+            drains=drains,
+            domain_failures=domain_failures,
+        )
 
     def signature(self) -> str:
-        """Canonical compact identity string ("none" when empty)."""
+        """Canonical compact identity string ("none" when empty).
+
+        Uncorrelated specs keep the exact pre-topology format, so
+        existing store cell keys (and ``--resume`` coverage) survive
+        the schema bump untouched.
+        """
         if not self:
             return "none"
         parts: list[str] = []
@@ -411,6 +647,13 @@ class DisruptionSpec:
                 parts.append(
                     f"model={self.failure_model}:{self.weibull_shape:g}"
                 )
+        if self.rack_mtbf is not None:
+            parts.append(f"rack_mtbf={self.rack_mtbf:g}")
+            if self.mtbf is None:
+                parts.append(f"mttr={self.mttr:g}")
+            parts.append(f"corr={self.correlation:g}")
+            if self.correlation_level != "rack":
+                parts.append(f"level={self.correlation_level}")
         if self.drain_every is not None:
             parts.append(
                 f"drain={self.drain_nodes}x{self.drain_duration:g}"
@@ -430,6 +673,13 @@ class DisruptionSpec:
             )
             if self.failure_model == "weibull":
                 out["weibull_shape"] = self.weibull_shape
+        if self.rack_mtbf is not None:
+            out.update(
+                rack_mtbf=self.rack_mtbf,
+                correlation=self.correlation,
+                correlation_level=self.correlation_level,
+            )
+            out.setdefault("mttr", self.mttr)
         if self.drain_every is not None:
             out.update(
                 drain_every=self.drain_every,
@@ -484,6 +734,21 @@ DISRUPTION_PRESETS: dict[str, DisruptionSpec] = {
         drain_every=28_800.0, drain_duration=5_400.0, drain_nodes=64,
         drain_lead=3_600.0, drain_first=3_600.0,
     ),
+    #: Correlated rack shocks: whole racks die together at an
+    #: aggressive per-rack rate, plus background single-node churn.
+    #: Pair with a non-flat topology (e.g. --rack-size 32) — this is
+    #: the regime where domain-spread placement separates policies.
+    "rack_storm": DisruptionSpec(
+        mtbf=400_000.0, mttr=1_800.0,
+        rack_mtbf=30_000.0, correlation=1.0,
+    ),
+    #: Rarer, wider blast: a whole switch group (several racks) drops
+    #: at once — the largest single-event work loss the blast-radius
+    #: metrics track. Pair with --rack-size/--racks-per-switch.
+    "switch_outage": DisruptionSpec(
+        rack_mtbf=120_000.0, mttr=3_600.0,
+        correlation=1.0, correlation_level="switch",
+    ),
 }
 
 
@@ -522,6 +787,11 @@ class PreemptionRecord:
     work_saved: float
     work_lost: float
     restart_time: Optional[float] = None
+    #: Failure-domain label (``rack3``) when the kill came from a
+    #: correlated shock or a domain-scoped drain; ``None`` for
+    #: independent node failures and voluntary preemptions. Blast-radius
+    #: metrics group on (time, reason, domain) to attribute losses.
+    domain: Optional[str] = None
 
     @property
     def requeue_latency(self) -> Optional[float]:
@@ -538,10 +808,12 @@ __all__ = [
     "DISRUPTION_PRESETS",
     "DisruptionSpec",
     "DisruptionTrace",
+    "DomainFailure",
     "DrainWindow",
     "NodeFailure",
     "PreemptionRecord",
     "RESTART_POLICIES",
+    "correlated_failures",
     "disruption_signature",
     "estimate_horizon",
     "exponential_failures",

@@ -24,32 +24,41 @@ class EventKind(enum.IntEnum):
 
     The order encodes the same-instant semantics the disruption
     subsystem depends on: completions and capacity *restorations*
-    (repair, drain end) apply first, then capacity *removals* (failure,
-    drain start), then announcements, and arrivals always observe the
-    fully-disrupted cluster. In particular failure-before-arrival is
-    pinned: a job arriving at the exact instant a node dies queues
-    against the shrunken cluster.
+    (repair — single-node then domain-level — and drain end) apply
+    first, then capacity *removals* (single-node failure, then
+    domain-level correlated failure, then drain start), then
+    announcements, and arrivals always observe the fully-disrupted
+    cluster. In particular failure-before-arrival is pinned: a job
+    arriving at the exact instant a node (or a whole rack) dies queues
+    against the shrunken cluster, and a domain failure striking at the
+    instant a single node is restored sees that node back in service.
 
     For events carrying a job (COMPLETION/ARRIVAL) ``Event.job_id`` is
-    the job id; for disruption events it indexes the failure or drain
-    entry of the simulator's :class:`~repro.sim.disruptions.DisruptionTrace`.
+    the job id; for disruption events it indexes the failure,
+    domain-failure, or drain entry of the simulator's
+    :class:`~repro.sim.disruptions.DisruptionTrace`.
     """
 
     #: A running job finished; its resources are released.
     COMPLETION = 0
     #: A failed node comes back; capacity is restored.
     NODE_REPAIR = 1
+    #: A correlated (rack/switch) failure's node block comes back.
+    DOMAIN_REPAIR = 2
     #: A maintenance drain ends; drained nodes return to service.
-    DRAIN_END = 2
+    DRAIN_END = 3
     #: A node dies; its job (if any) is killed and capacity shrinks.
-    NODE_FAILURE = 3
+    NODE_FAILURE = 4
+    #: A whole failure domain's node block dies at one instant; every
+    #: job on it is killed in pinned (first-slot) order.
+    DOMAIN_FAILURE = 5
     #: A maintenance drain begins; nodes leave service (killing
     #: running jobs if the cluster is too full to drain idle ones).
-    DRAIN_START = 4
+    DRAIN_START = 6
     #: A future drain is announced; recovery-aware schedulers may react.
-    DRAIN_ANNOUNCE = 5
+    DRAIN_ANNOUNCE = 7
     #: A job entered the waiting queue.
-    ARRIVAL = 6
+    ARRIVAL = 8
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ from typing import (
     runtime_checkable,
 )
 
-from repro.sim.actions import Action, ActionKind, Delay
+from repro.sim.actions import Action, ActionKind
 from repro.sim.cluster import ClusterModel, ResourcePool
 from repro.sim.constraints import ConstraintChecker, Violation
 from repro.sim.disruptions import (
@@ -41,6 +41,7 @@ from repro.sim.disruptions import (
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.job import Job, validate_dependencies, validate_workload
 from repro.sim.schedule import DecisionRecord, JobRecord, ScheduleResult
+from repro.sim.topology import ClusterTopology
 
 
 class SimulationError(RuntimeError):
@@ -165,6 +166,14 @@ class SystemView:
     #: Remaining runtime for jobs restarted after a kill (checkpoint
     #: restart); jobs absent from the mapping run their full duration.
     remaining_runtimes: Mapping[int, float] = field(default_factory=dict)
+    #: The cluster's node → rack → switch hierarchy, when it has one.
+    #: ``None`` (hand-built views) and flat topologies mean "no failure
+    #: domains": every topology-aware policy path is a no-op.
+    topology: Optional[ClusterTopology] = None
+    #: Free (idle, online) node count per rack, aligned with
+    #: ``topology.n_racks``; empty for flat/absent topologies — the
+    #: engine only pays the per-domain reduction when domains exist.
+    domain_free_nodes: tuple[int, ...] = ()
     #: Lazily-built id → job index over ``queued`` (see
     #: :meth:`queued_job`); excluded from init/repr/comparison.
     _queued_index: Optional[dict[int, Job]] = field(
@@ -206,6 +215,16 @@ class SystemView:
         return (
             job.nodes <= self.free_nodes
             and job.memory_gb <= self.free_memory_gb + 1e-9
+        )
+
+    @property
+    def has_domains(self) -> bool:
+        """True when the cluster has real (non-flat) failure domains
+        and this view carries their per-domain free capacity."""
+        return (
+            self.topology is not None
+            and not self.topology.is_flat
+            and bool(self.domain_free_nodes)
         )
 
     def effective_walltime(self, job: Job) -> float:
@@ -430,6 +449,23 @@ class HPCSimulator:
             )
         self.jobs = validate_workload(self.jobs)
         validate_dependencies(self.jobs)
+        # Fail fast on domain labels the cluster's topology cannot
+        # resolve: a bad label must be a construction-time error, not
+        # an IndexError deep in the event loop at DRAIN_START time.
+        if self.disruptions is not None and self.disruptions.drains:
+            topo = getattr(self.cluster, "topology", None)
+            for drain in self.disruptions.drains:
+                if drain.domain is None or topo is None:
+                    continue
+                try:
+                    topo.domain_range(drain.domain)
+                except (ValueError, IndexError) as exc:
+                    raise SimulationError(
+                        f"drain window {drain.start:g}-{drain.end:g} is "
+                        f"scoped to domain {drain.domain!r}, which the "
+                        f"cluster topology ({topo.signature()}) cannot "
+                        f"resolve: {exc}"
+                    ) from exc
         for job in self.jobs:
             if job.nodes > self.cluster.total_nodes or (
                 job.memory_gb > self.cluster.total_memory_gb + 1e-9
@@ -464,6 +500,13 @@ class HPCSimulator:
                 )
                 events.push(
                     Event(failure.repair_time, EventKind.NODE_REPAIR, idx)
+                )
+            for idx, shock in enumerate(trace.domain_failures):
+                events.push(
+                    Event(shock.time, EventKind.DOMAIN_FAILURE, idx)
+                )
+                events.push(
+                    Event(shock.repair_time, EventKind.DOMAIN_REPAIR, idx)
                 )
             for idx, drain in enumerate(trace.drains):
                 if drain.announce_time < drain.start:
@@ -526,6 +569,20 @@ class HPCSimulator:
         #: (a failure striking an already-offline node is a no-op and
         #: its paired repair must be skipped too).
         effective_failures: set[int] = set()
+        #: Domain-failure index -> node indices actually taken offline
+        #: by that shock (nodes already down when it struck are skipped,
+        #: and must not be double-restored at the paired repair).
+        domain_offline: dict[int, list[int]] = {}
+        #: Node labels currently down due to a failure (single-node or
+        #: domain shock). Node-identity clusters detect re-failing a
+        #: down node themselves, but the aggregate pool cannot — its
+        #: ``mark_failed`` ignores the index and would take a *fresh*
+        #: free node for a label that is already offline. Tracking
+        #: labels here makes "failing an already-down node is a no-op"
+        #: hold uniformly across cluster models.
+        failed_down_nodes: set[int] = set()
+        #: Involuntary kills attributed to a failure domain label.
+        domain_kills: dict[str, int] = {}
         #: Most recent drain announcement (preempt_migrate implicitly
         #: checkpoints every running job at that instant).
         last_announce = -math.inf
@@ -610,10 +667,17 @@ class HPCSimulator:
             self.cluster.release(job_id)
             return run
 
-        def kill_running(job_id: int, time: float, reason: str) -> None:
+        def kill_running(
+            job_id: int,
+            time: float,
+            reason: str,
+            domain: Optional[str] = None,
+        ) -> None:
             """Evict a running job and requeue it under the restart
             policy. ``reason`` "preempt" is the voluntary/graceful path
-            (clean suspend: no work lost)."""
+            (clean suspend: no work lost). ``domain`` attributes the
+            kill to a failure domain (correlated shock / scoped drain)
+            for blast-radius accounting."""
             nonlocal stopped, final_stop_asked, decision_budget
             if self.max_decisions is None and reason != "preempt":
                 # Each trace-driven kill legitimately costs extra
@@ -659,6 +723,8 @@ class HPCSimulator:
             stopped = False
             final_stop_asked = False
             n_kills[reason] += 1
+            if domain is not None:
+                domain_kills[domain] = domain_kills.get(domain, 0) + 1
             pending_restart[job_id] = len(preemptions)
             preemptions.append(
                 PreemptionRecord(
@@ -669,6 +735,7 @@ class HPCSimulator:
                     reason=reason,
                     work_saved=saved,
                     work_lost=elapsed - saved,
+                    domain=domain,
                 )
             )
             # The killed job's COMPLETION event is still in the heap;
@@ -677,19 +744,27 @@ class HPCSimulator:
 
         def apply_drain_start(idx: int) -> None:
             """Take the drain's nodes out of service, idle nodes first,
-            preempting running jobs only when too few are idle."""
+            preempting running jobs only when too few are idle. A
+            domain-scoped drain takes its nodes from that domain's
+            block (on clusters with node identity)."""
             drain = trace.drains[idx]
             tag = f"drain:{idx}"
+            within: Optional[range] = None
+            topo = getattr(self.cluster, "topology", None)
+            if drain.domain is not None and topo is not None:
+                within = topo.domain_range(drain.domain)
             taken = 0
             target = min(drain.nodes, self.cluster.total_nodes)
+            if within is not None:
+                target = min(target, len(within))
             while taken < target:
-                if self.cluster.drain_take_idle(tag):
+                if self.cluster.drain_take_idle(tag, within):
                     taken += 1
                     continue
-                victim = self.cluster.drain_victim()
+                victim = self.cluster.drain_victim(within)
                 if victim is None:
                     break  # nothing left to take; partial drain
-                kill_running(victim, drain.start, "drain")
+                kill_running(victim, drain.start, "drain", drain.domain)
             invalidate_view()
 
         #: Set by DRAIN_ANNOUNCE; grants the scheduler one decision
@@ -735,17 +810,62 @@ class HPCSimulator:
                         blocked[job.job_id] = job
                 elif event.kind is EventKind.NODE_FAILURE:
                     failure = trace.failures[event.job_id]
-                    victim = self.cluster.slot_victim(failure.node)
-                    if victim is not None:
-                        kill_running(victim, event.time, "failure")
-                    if self.cluster.mark_failed(failure.node):
-                        effective_failures.add(event.job_id)
+                    # A label a domain shock already downed is a no-op
+                    # (its paired repair is skipped too, via
+                    # effective_failures): only fresh nodes strike.
+                    if failure.node not in failed_down_nodes:
+                        victim = self.cluster.slot_victim(failure.node)
+                        if victim is not None:
+                            kill_running(victim, event.time, "failure")
+                        if self.cluster.mark_failed(failure.node):
+                            effective_failures.add(event.job_id)
+                            failed_down_nodes.add(failure.node)
                 elif event.kind is EventKind.NODE_REPAIR:
                     if event.job_id in effective_failures:
                         effective_failures.discard(event.job_id)
-                        self.cluster.mark_repaired(
-                            trace.failures[event.job_id].node
+                        node = trace.failures[event.job_id].node
+                        failed_down_nodes.discard(node)
+                        self.cluster.mark_repaired(node)
+                elif event.kind is EventKind.DOMAIN_FAILURE:
+                    shock = trace.domain_failures[event.job_id]
+                    # One event, N nodes, pinned ordering: victims are
+                    # resolved over the pre-shock allocation layout in
+                    # first-struck-slot order, then evicted together —
+                    # a job spanning several struck nodes dies exactly
+                    # once, and later victims never shift into earlier
+                    # slots mid-event. Labels already down (a prior
+                    # single-node failure or overlapping shock) are
+                    # skipped entirely, so the aggregate pool never
+                    # charges a fresh free node for an already-offline
+                    # label.
+                    fresh = [
+                        node
+                        for node in shock.nodes
+                        if node not in failed_down_nodes
+                    ]
+                    victims: list[int] = []
+                    seen_victims: set[int] = set()
+                    for node in fresh:
+                        victim = self.cluster.slot_victim(node)
+                        if victim is not None and victim not in seen_victims:
+                            seen_victims.add(victim)
+                            victims.append(victim)
+                    for victim in victims:
+                        kill_running(
+                            victim, event.time, "failure", shock.domain
                         )
+                    taken = [
+                        node
+                        for node in fresh
+                        if self.cluster.mark_failed(node)
+                    ]
+                    if taken:
+                        domain_offline[event.job_id] = taken
+                        failed_down_nodes.update(taken)
+                elif event.kind is EventKind.DOMAIN_REPAIR:
+                    for node in domain_offline.pop(event.job_id, ()):
+                        failed_down_nodes.discard(node)
+                        self.cluster.mark_repaired(node)
                 elif event.kind is EventKind.DRAIN_START:
                     apply_drain_start(event.job_id)
                 elif event.kind is EventKind.DRAIN_END:
@@ -787,6 +907,15 @@ class HPCSimulator:
                     for d in trace.drains
                     if d.announce_time <= now < d.end
                 )
+            # Per-domain capacity is computed only when real domains
+            # exist: flat-topology (and legacy) runs never pay the
+            # per-rack reduction, keeping the hot path identical.
+            topo: Optional[ClusterTopology] = getattr(
+                self.cluster, "topology", None
+            )
+            domain_free: tuple[int, ...] = ()
+            if topo is not None and not topo.is_flat:
+                domain_free = tuple(self.cluster.domain_free_nodes())
             view_cache = SystemView(
                 now=now,
                 queued=ordered_queue,
@@ -810,6 +939,8 @@ class HPCSimulator:
                 remaining_runtimes=(
                     dict(remaining) if remaining else _NO_REMAINING
                 ),
+                topology=topo,
+                domain_free_nodes=domain_free,
             )
             object.__setattr__(
                 view_cache, "_running_sorted", running_sorted_snapshot
@@ -990,6 +1121,17 @@ class HPCSimulator:
         )
         if disrupted:
             result.extras["disruption_kills"] = dict(n_kills)
+            # Blast-radius bookkeeping only for traces that actually
+            # carry domain-level events: zero-correlation runs keep the
+            # exact PR-3 extras (and therefore metric columns).
+            n_domain_events = len(trace.domain_failures) + sum(
+                1 for d in trace.drains if d.domain is not None
+            )
+            if n_domain_events:
+                result.extras["domain_events"] = n_domain_events
+                result.extras["domain_kills"] = dict(
+                    sorted(domain_kills.items())
+                )
         collect = getattr(self.scheduler, "collect_extras", None)
         if collect is not None:
             result.extras.update(collect())

@@ -157,6 +157,28 @@ def _checkpoint_stress(rng: np.random.Generator, i: int, n: int) -> JobDraw:
     return JobDraw(duration=duration, nodes=nodes, memory_gb=nodes * 4.0)
 
 
+def _rack_storm(rng: np.random.Generator, i: int, n: int) -> JobDraw:
+    # Many sub-rack jobs (8-32 nodes, tens of minutes to a few hours):
+    # with a 32-node rack topology each job sits inside one or two
+    # racks, so a whole-rack shock wipes several jobs at one instant —
+    # the blast-radius regime domain-spread placement exists to blunt.
+    # Pair with --rack-size 32 and the "rack_storm" preset.
+    duration = rng.gamma(shape=2.0, scale=2_000.0)
+    nodes = int(rng.choice([8, 16, 24, 32]))
+    return JobDraw(duration=duration, nodes=nodes, memory_gb=nodes * 4.0)
+
+
+def _switch_outage(rng: np.random.Generator, i: int, n: int) -> JobDraw:
+    # Wide, long jobs (32-128 nodes) spanning several racks behind one
+    # switch group: a switch-level outage is the largest single-event
+    # work loss the blast-radius metrics track. Pair with
+    # --rack-size 32 --racks-per-switch 4 and the "switch_outage"
+    # preset.
+    duration = rng.gamma(shape=2.5, scale=4_000.0)
+    nodes = int(rng.choice([32, 64, 96, 128]))
+    return JobDraw(duration=duration, nodes=nodes, memory_gb=nodes * 3.0)
+
+
 def _drain_window(rng: np.random.Generator, i: int, n: int) -> JobDraw:
     # Steady mix of medium jobs whose walltimes straddle typical
     # maintenance-window scales: whether a scheduler parks long jobs
@@ -263,6 +285,27 @@ SCENARIOS: dict[str, Scenario] = {
         arrivals=PoissonArrivals(rate=1 / 60.0),
         heterogeneity=0.6,
     ),
+    "rack_storm": Scenario(
+        name="rack_storm",
+        description=(
+            "8-32 node sub-rack jobs; whole-rack shocks kill several "
+            "at once (pair with --rack-size 32 / the rack_storm preset)"
+        ),
+        sampler=_rack_storm,
+        arrivals=PoissonArrivals(rate=1 / 120.0),
+        heterogeneity=0.5,
+    ),
+    "switch_outage": Scenario(
+        name="switch_outage",
+        description=(
+            "Wide 32-128 node jobs spanning racks; a switch-group "
+            "outage maximizes single-event loss (pair with "
+            "--racks-per-switch / the switch_outage preset)"
+        ),
+        sampler=_switch_outage,
+        arrivals=PoissonArrivals(rate=1 / 240.0),
+        heterogeneity=0.6,
+    ),
 }
 
 #: Canonical ordering used in figures (Fig. 3 shows six of the seven —
@@ -281,7 +324,12 @@ PAPER_SCENARIOS: tuple[str, ...] = (
 )
 
 #: Scenarios added for the disruption subsystem (not in the paper).
-FAILURE_SCENARIOS: tuple[str, ...] = ("checkpoint_stress", "drain_window")
+FAILURE_SCENARIOS: tuple[str, ...] = (
+    "checkpoint_stress",
+    "drain_window",
+    "rack_storm",
+    "switch_outage",
+)
 
 #: The six scenarios plotted in Fig. 3 (§3.5 excludes heterogeneous_mix).
 FIGURE3_SCENARIOS: tuple[str, ...] = tuple(

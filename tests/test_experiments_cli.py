@@ -95,6 +95,47 @@ class TestExecution:
         assert "policy=checkpoint" in out
         assert "goodput_nh" in out
 
+    def test_run_with_correlated_failures(self, capsys):
+        assert main([
+            "run", "--scenario", "rack_storm", "--scheduler",
+            "fcfs_backfill", "-n", "15",
+            "--rack-size", "32", "--racks-per-switch", "4",
+            "--rack-mtbf", "8000", "--mttr", "1000",
+            "--restart-policy", "checkpoint",
+            "--checkpoint-interval", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rack_mtbf=8000" in out
+        assert "blast radius [rack32x4]" in out
+
+    def test_racks_per_switch_requires_rack_size(self, capsys):
+        assert main([
+            "run", "--scenario", "rack_storm", "--scheduler", "fcfs",
+            "--racks-per-switch", "4",
+        ]) == 2
+        assert "--rack-size" in capsys.readouterr().err
+
+    def test_correlation_without_rack_mtbf_is_friendly_error(self, capsys):
+        assert main([
+            "matrix", "--scenarios", "rack_storm", "--sizes", "10",
+            "--correlation", "0.5",
+        ]) == 2
+        assert "--rack-mtbf" in capsys.readouterr().err
+
+    def test_zero_racks_per_switch_is_friendly_error(self, capsys):
+        assert main([
+            "run", "--scenario", "rack_storm", "--scheduler", "fcfs",
+            "--rack-size", "32", "--racks-per-switch", "0",
+        ]) == 2
+        assert "racks_per_switch" in capsys.readouterr().err
+
+    def test_bad_rack_size_is_friendly_error(self, capsys):
+        assert main([
+            "run", "--scenario", "rack_storm", "--scheduler", "fcfs",
+            "--rack-size", "1000",
+        ]) == 2
+        assert "rack_size" in capsys.readouterr().err
+
     def test_run_command(self, capsys):
         code = main([
             "run", "--scenario", "resource_sparse", "--scheduler", "sjf",

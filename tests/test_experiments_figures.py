@@ -59,8 +59,12 @@ class TestMatrixBlocks:
         )
         stored = [StoredRun.from_run(r) for r in runs]
         blocks = figures.matrix_blocks(stored)
-        assert set(blocks) == {("resource_sparse", 8, 0, "scenario", "none")}
-        block = blocks[("resource_sparse", 8, 0, "scenario", "none")]
+        assert set(blocks) == {
+            ("resource_sparse", 8, 0, "scenario", "none", "flat")
+        }
+        block = blocks[
+            ("resource_sparse", 8, 0, "scenario", "none", "flat")
+        ]
         assert list(block)[0] == "fcfs"  # baseline renders first
         assert set(block) == set(SMALL_SCHEDULERS)
         for value in block["fcfs"].values():
@@ -78,7 +82,7 @@ class TestMatrixBlocks:
 
         blocks = figures.matrix_blocks([stored(0, 100.0), stored(1, 200.0)])
         # No fcfs baseline in the group: raw (averaged) values.
-        key = ("s", 4, 0, "scenario", "none")
+        key = ("s", 4, 0, "scenario", "none", "flat")
         assert blocks[key]["x"]["makespan"] == pytest.approx(150.0)
 
     def test_arrival_modes_are_separate_instances(self):
@@ -96,8 +100,12 @@ class TestMatrixBlocks:
         )
         # Different arrival processes are different experiments: no
         # cross-mode averaging.
-        assert blocks[("s", 4, 0, "scenario", "none")]["x"]["makespan"] == 100.0
-        assert blocks[("s", 4, 0, "zero", "none")]["x"]["makespan"] == 300.0
+        assert blocks[
+            ("s", 4, 0, "scenario", "none", "flat")
+        ]["x"]["makespan"] == 100.0
+        assert blocks[
+            ("s", 4, 0, "zero", "none", "flat")
+        ]["x"]["makespan"] == 300.0
 
 
 class TestFigure4:

@@ -38,7 +38,9 @@ class TestExpandCells:
 
     def test_cell_key_matches_store_key(self):
         cell = MatrixCell("adversarial", 10, "fcfs", 2, 3)
-        assert cell.key == ("adversarial", 10, "fcfs", 2, 3, "scenario", "none")
+        assert cell.key == (
+            "adversarial", 10, "fcfs", 2, 3, "scenario", "none", "flat",
+        )
 
     def test_arrival_mode_is_part_of_cell_identity(self):
         scenario_cell = MatrixCell("adversarial", 10, "fcfs")

@@ -3,10 +3,15 @@
 import pytest
 
 from repro.metrics.disruption import (
+    BLAST_METRIC_NAMES,
+    CORE_DISRUPTION_METRIC_NAMES,
     DISRUPTION_METRIC_NAMES,
+    blast_radius_metrics,
     disruption_metrics,
+    domain_kill_counts,
     goodput_fraction,
     goodput_node_hours,
+    largest_event_loss_node_hours,
     mean_requeue_latency,
     wasted_node_hours,
     work_lost_per_kill,
@@ -35,12 +40,12 @@ def job(job_id=1, nodes=4, duration=3600.0):
 
 
 def preemption(job_id=1, nodes=4, start=0.0, time=1800.0, reason="failure",
-               saved=0.0, restart=None):
+               saved=0.0, restart=None, domain=None):
     lost = (time - start) - saved
     return PreemptionRecord(
         job_id=job_id, nodes=nodes, start_time=start, time=time,
         reason=reason, work_saved=saved, work_lost=lost,
-        restart_time=restart,
+        restart_time=restart, domain=domain,
     )
 
 
@@ -130,6 +135,60 @@ class TestRequeueLatency:
         assert mean_requeue_latency(result) == pytest.approx(500.0)
 
 
+class TestBlastRadius:
+    def test_one_event_groups_same_instant_same_domain_kills(self):
+        # Two jobs killed by one rack shock = one event; a later
+        # independent node failure is a separate, smaller event.
+        result = make_result(
+            preemptions=[
+                preemption(job_id=1, time=1800.0, domain="rack2"),
+                preemption(job_id=2, time=1800.0, domain="rack2"),
+                preemption(job_id=3, time=5000.0, start=4600.0),
+            ]
+        )
+        # Shock event loses 2 × 4 nodes × 1800 s; the node failure
+        # loses 4 × 400 s.
+        assert largest_event_loss_node_hours(result) == pytest.approx(
+            2 * 4 * 1800.0 / 3600.0
+        )
+
+    def test_same_instant_different_domains_are_separate_events(self):
+        result = make_result(
+            preemptions=[
+                preemption(job_id=1, time=1800.0, domain="rack0"),
+                preemption(job_id=2, time=1800.0, domain="rack1"),
+            ]
+        )
+        assert largest_event_loss_node_hours(result) == pytest.approx(
+            4 * 1800.0 / 3600.0
+        )
+
+    def test_voluntary_preempts_never_count(self):
+        result = make_result(
+            preemptions=[
+                preemption(reason="preempt", saved=1800.0, domain="rack0"),
+            ]
+        )
+        assert largest_event_loss_node_hours(result) == 0.0
+        assert domain_kill_counts(result) == {}
+
+    def test_domain_kill_counts_sorted_by_label(self):
+        result = make_result(
+            preemptions=[
+                preemption(job_id=1, domain="rack3"),
+                preemption(job_id=2, domain="rack1"),
+                preemption(job_id=3, domain="rack3"),
+                preemption(job_id=4),  # independent node failure
+            ]
+        )
+        counts = domain_kill_counts(result)
+        assert counts == {"rack1": 1, "rack3": 2}
+        assert list(counts) == ["rack1", "rack3"]
+        metrics = blast_radius_metrics(result)
+        assert metrics["n_domain_kills"] == 3.0
+        assert metrics["domains_hit"] == 2.0
+
+
 class TestIntegrationWithComputeMetrics:
     def test_disrupted_run_reports_reliability_columns(self):
         from repro.metrics.objectives import compute_metrics
@@ -139,11 +198,33 @@ class TestIntegrationWithComputeMetrics:
             records=[JobRecord(j, 0.0, 3600.0)], disrupted=True
         )
         values = compute_metrics(result).as_dict()
+        for name in CORE_DISRUPTION_METRIC_NAMES:
+            assert name in values
+        # Blast-radius columns only appear for domain-event traces.
+        for name in BLAST_METRIC_NAMES:
+            assert name not in values
+
+    def test_domain_event_run_reports_blast_columns(self):
+        from repro.metrics.objectives import compute_metrics
+
+        j = job()
+        result = make_result(
+            records=[JobRecord(j, 0.0, 3600.0)], disrupted=True
+        )
+        result.extras["domain_events"] = 2
+        values = compute_metrics(result).as_dict()
         for name in DISRUPTION_METRIC_NAMES:
             assert name in values
 
     def test_names_match_module_functions(self):
         result = make_result()
         assert set(disruption_metrics(result)) == set(
+            CORE_DISRUPTION_METRIC_NAMES
+        )
+        result.extras["domain_events"] = 1
+        assert set(disruption_metrics(result)) == set(
             DISRUPTION_METRIC_NAMES
+        )
+        assert set(DISRUPTION_METRIC_NAMES) == (
+            set(CORE_DISRUPTION_METRIC_NAMES) | set(BLAST_METRIC_NAMES)
         )

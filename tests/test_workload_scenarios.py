@@ -34,7 +34,12 @@ class TestRegistry:
         assert expected <= set(SCENARIOS)
 
     def test_failure_scenarios_registered(self):
-        assert set(FAILURE_SCENARIOS) == {"checkpoint_stress", "drain_window"}
+        assert set(FAILURE_SCENARIOS) == {
+            "checkpoint_stress",
+            "drain_window",
+            "rack_storm",
+            "switch_outage",
+        }
         assert all(name in SCENARIOS for name in FAILURE_SCENARIOS)
         # The disruption additions never displace a paper scenario.
         assert set(FAILURE_SCENARIOS).isdisjoint(PAPER_SCENARIOS)
