@@ -56,13 +56,15 @@ _LOWER_IS_BETTER_SUFFIXES = (
     "_s",
     "us_per_decision",
     "_ratio",
+    "_per_move",
 )
 #: Metrics where larger is better.
 _HIGHER_IS_BETTER_SUFFIXES = ("speedup",)
 
-#: Dimensionless metrics (pure ratios of same-run timings): these stay
-#: comparable across runner generations, unlike absolute wall-clock.
-_DIMENSIONLESS_SUFFIXES = ("speedup", "_ratio")
+#: Dimensionless metrics (pure ratios / work counts of same-run
+#: quantities): these stay comparable across runner generations,
+#: unlike absolute wall-clock.
+_DIMENSIONLESS_SUFFIXES = ("speedup", "_ratio", "_per_move")
 
 
 @dataclass
@@ -107,6 +109,22 @@ class BenchConfig:
     correlated_rack_mtbf: float = 60_000.0
     correlated_mttr: float = 1_800.0
     correlated_checkpoint: float = 900.0
+    #: Windowed-planning cells: ``(queue_size, iterations)`` replan
+    #: latency measurements (full vs ``planning_window`` at the *same*
+    #: iteration budget — the budget shrinks with queue size because
+    #: the full-search side packs an O(queue) suffix per iteration),
+    #: plus quality cells (queue sizes, default online budget) for the
+    #: windowed-vs-full final-objective ratio.
+    planning_window: int = 32
+    planning_latency_cells: tuple[tuple[int, int], ...] = (
+        (1000, 80), (5000, 32), (10000, 24),
+    )
+    #: Quality is tracked at the paper's maximum queue scale, where
+    #: full search is affordable *and* well-converged; below ~2W jobs
+    #: the window spans most of the order and the comparison measures
+    #: iteration-budget scaling instead of the windowing trade-off.
+    planning_quality_cells: tuple[int, ...] = (100,)
+    planning_running: int = 12
     seed: int = 0
 
     @classmethod
@@ -122,7 +140,11 @@ class BenchConfig:
             sweep_sizes=(20,),
             # The disruption cell stays at full size in the quick/CI
             # profile: it is this PR's acceptance-tracking measurement
-            # and completes in seconds.
+            # and completes in seconds. Likewise the 5k-job windowed
+            # planning cell (the PR-5 acceptance measurement); only
+            # the 10k cell is full-profile-only.
+            planning_latency_cells=((1000, 80), (5000, 32)),
+            planning_quality_cells=(100,),
         )
 
 
@@ -162,16 +184,22 @@ def _replan_view(n_jobs: int, n_running: int, seed: int) -> SystemView:
     )
 
 
-def _time_replan(view: SystemView, *, use_incremental: bool, seed: int) -> float:
+def _time_replan(
+    view: SystemView,
+    *,
+    use_incremental: bool,
+    seed: int,
+    config: Optional[AnnealingConfig] = None,
+) -> tuple[float, AnnealingOptimizer]:
     sched = AnnealingOptimizer(
         seed=seed,
-        config=AnnealingConfig(),
+        config=config or AnnealingConfig(),
         use_incremental=use_incremental,
     )
     sched.reset()
     t0 = time.perf_counter()
     sched._replan(view)
-    return time.perf_counter() - t0
+    return time.perf_counter() - t0, sched
 
 
 def bench_replan_event(cfg: BenchConfig) -> list[dict[str, Any]]:
@@ -179,11 +207,11 @@ def bench_replan_event(cfg: BenchConfig) -> list[dict[str, Any]]:
     for n in cfg.replan_sizes:
         view = _replan_view(n, cfg.replan_running, cfg.seed)
         inc = min(
-            _time_replan(view, use_incremental=True, seed=cfg.seed)
+            _time_replan(view, use_incremental=True, seed=cfg.seed)[0]
             for _ in range(cfg.replan_repeats)
         )
         naive = min(
-            _time_replan(view, use_incremental=False, seed=cfg.seed)
+            _time_replan(view, use_incremental=False, seed=cfg.seed)[0]
             for _ in range(cfg.replan_repeats)
         )
         rows.append(
@@ -195,6 +223,94 @@ def bench_replan_event(cfg: BenchConfig) -> list[dict[str, Any]]:
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# planning: windowed replanning vs full annealing at equal budget
+# ---------------------------------------------------------------------------
+
+def bench_planning(cfg: BenchConfig) -> dict[str, Any]:
+    """Windowed-planning kernel: latency and quality vs full search.
+
+    *Latency* cells replay one replanning event at 1k/5k/10k-job queue
+    sizes twice — full annealing and ``window=W`` — under the **same
+    iteration budget**, reporting wall-clock, total packed jobs, and
+    packed-jobs-per-accepted-move (the quantity the window bounds).
+    *Quality* cells run both searches at the default online budget on
+    tracked queue sizes where full search is affordable, reporting the
+    dimensionless ``quality_ratio`` (windowed ÷ full final objective;
+    1.0 = parity, lower is better).
+    """
+    latency_rows = []
+    for n, iterations in cfg.planning_latency_cells:
+        view = _replan_view(n, cfg.planning_running, cfg.seed)
+        budget = AnnealingConfig(
+            base_iterations=iterations,
+            per_job_iterations=0,
+            max_iterations=iterations,
+        )
+        windowed_cfg = AnnealingConfig(
+            base_iterations=iterations,
+            per_job_iterations=0,
+            max_iterations=iterations,
+            window=cfg.planning_window,
+        )
+        full_s, full_sched = _time_replan(
+            view, use_incremental=True, seed=cfg.seed, config=budget
+        )
+        win_s, win_sched = _time_replan(
+            view, use_incremental=True, seed=cfg.seed, config=windowed_cfg
+        )
+        full_stat = full_sched._stats[-1]
+        win_stat = win_sched._stats[-1]
+        latency_rows.append(
+            {
+                "queue_size": n,
+                "iterations": iterations,
+                "window": cfg.planning_window,
+                "full_ms": round(full_s * 1e3, 3),
+                "windowed_ms": round(win_s * 1e3, 3),
+                "replan_speedup": round(full_s / win_s, 2)
+                if win_s > 0
+                else float("inf"),
+                "full_packed_jobs": full_stat.jobs_packed,
+                "windowed_packed_jobs": win_stat.jobs_packed,
+                "full_packed_per_move": round(
+                    full_stat.jobs_packed / max(full_stat.accepted_moves, 1),
+                    1,
+                ),
+                "windowed_packed_per_move": round(
+                    win_stat.jobs_packed / max(win_stat.accepted_moves, 1),
+                    1,
+                ),
+            }
+        )
+    quality_rows = []
+    for n in cfg.planning_quality_cells:
+        view = _replan_view(n, cfg.planning_running, cfg.seed)
+        _, full_sched = _time_replan(
+            view, use_incremental=True, seed=cfg.seed
+        )
+        _, win_sched = _time_replan(
+            view,
+            use_incremental=True,
+            seed=cfg.seed,
+            config=AnnealingConfig(window=cfg.planning_window),
+        )
+        full_obj = full_sched._stats[-1].final_objective
+        win_obj = win_sched._stats[-1].final_objective
+        quality_rows.append(
+            {
+                "queue_size": n,
+                "window": cfg.planning_window,
+                "full_objective": round(full_obj, 3),
+                "windowed_objective": round(win_obj, 3),
+                "quality_ratio": round(win_obj / full_obj, 4)
+                if full_obj
+                else 1.0,
+            }
+        )
+    return {"latency": latency_rows, "quality": quality_rows}
 
 
 # ---------------------------------------------------------------------------
@@ -438,6 +554,8 @@ def run_bench(
 
     note("replan_event: incremental vs naive replanning …")
     replan = bench_replan_event(cfg)
+    note("planning: windowed vs full annealing at equal budget …")
+    planning = bench_planning(cfg)
     note("decision_snapshot: per-decision cost vs completed jobs …")
     snapshot = bench_decision_snapshot(cfg)
     note("per_decision: end-to-end decision latencies …")
@@ -456,6 +574,7 @@ def run_bench(
         "platform": platform.platform(),
         "metrics": {
             "replan_event": replan,
+            "planning": planning,
             "decision_snapshot": snapshot,
             "per_decision": per_decision,
             "disruption": disruption,
@@ -474,6 +593,24 @@ def _flatten(report: dict[str, Any]) -> dict[str, float]:
         for key in ("incremental_ms", "naive_ms", "speedup"):
             if key in row:
                 flat[f"{base}.{key}"] = float(row[key])
+    planning = metrics.get("planning", {})
+    for row in planning.get("latency", ()):
+        base = (
+            f"planning[{row['queue_size']}@{row['iterations']}"
+            f"/w{row['window']}]"
+        )
+        for key in (
+            "full_ms",
+            "windowed_ms",
+            "replan_speedup",
+            "windowed_packed_per_move",
+        ):
+            if key in row:
+                flat[f"{base}.{key}"] = float(row[key])
+    for row in planning.get("quality", ()):
+        base = f"planning_quality[{row['queue_size']}/w{row['window']}]"
+        if "quality_ratio" in row:
+            flat[f"{base}.quality_ratio"] = float(row["quality_ratio"])
     snap = metrics.get("decision_snapshot", {})
     for key in ("us_per_decision", "growth_ratio"):
         if key in snap:
@@ -589,6 +726,26 @@ def render_report(report: dict[str, Any]) -> str:
             f"  {row['queue_size']:>5d}   {row['incremental_ms']:>8.2f}ms"
             f"   {row['naive_ms']:>8.2f}ms   {row['speedup']:>6.2f}x"
         )
+    planning = m.get("planning", {})
+    if planning:
+        lines += [
+            "",
+            "windowed planning (equal iteration budget, one replan):",
+            "  queue  iters       full   windowed    speedup  packed/move",
+        ]
+        for row in planning.get("latency", ()):
+            lines.append(
+                f"  {row['queue_size']:>5d}  {row['iterations']:>5d}"
+                f"   {row['full_ms']:>8.0f}ms {row['windowed_ms']:>8.0f}ms"
+                f"   {row['replan_speedup']:>7.2f}x"
+                f"  {row['full_packed_per_move']:>5.0f}"
+                f" -> {row['windowed_packed_per_move']:.0f}"
+            )
+        for row in planning.get("quality", ()):
+            lines.append(
+                f"  quality @ {row['queue_size']} jobs, default budget: "
+                f"windowed/full objective x{row['quality_ratio']:.4f}"
+            )
     snap = m["decision_snapshot"]
     lines += [
         "",

@@ -142,9 +142,32 @@ def _add_disruption_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_anneal_window(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--anneal-window",
+        type=int,
+        default=None,
+        metavar="W",
+        help=(
+            "windowed replanning for the annealing optimizer: search "
+            "only the first W positions of the priority order and "
+            "freeze the tail, bounding per-move packing work at large "
+            "queues (min 2; applies to window-aware schedulers only "
+            "and suffixes their recorded name with @wW)"
+        ),
+    )
+
+
 class DisruptionArgsError(ValueError):
     """Invalid disruption flag combination (reported as a friendly
     CLI error, not a traceback)."""
+
+
+def _check_anneal_window(args) -> None:
+    """Friendly validation for ``--anneal-window`` (the config would
+    reject it anyway, but deep inside a worker process)."""
+    if args.anneal_window is not None and args.anneal_window < 2:
+        raise DisruptionArgsError("--anneal-window must be at least 2")
 
 
 def _build_disruption_spec(args) -> Optional[DisruptionSpec]:
@@ -297,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="hard cap on scheduler queries (default: 200·n_jobs + 1000)",
     )
+    _add_anneal_window(pr)
     _add_common(pr)
     _add_disruption_args(pr)
 
@@ -347,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument(
         "--arrival-mode", choices=["scenario", "zero"], default="scenario"
     )
+    _add_anneal_window(pm)
     _add_disruption_args(pm)
 
     ps = sub.add_parser(
@@ -511,6 +536,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             disruption_spec = _build_disruption_spec(args)
             topology = _build_topology(args)
+            _check_anneal_window(args)
         except DisruptionArgsError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -536,6 +562,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 restart_policy=restart_policy,
                 checkpoint_interval=args.checkpoint_interval,
                 topology=topology,
+                anneal_window=args.anneal_window,
                 workers=args.workers,
                 store=store,
                 resume=args.resume,
@@ -564,6 +591,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             restart_policy=restart_policy,
             checkpoint_interval=args.checkpoint_interval,
             topology=topology,
+            anneal_window=args.anneal_window,
         )
         if args.resume:
             print(f"resumed: {len(cells) - len(runs)} cells already in "
@@ -633,6 +661,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             disruption_spec = _build_disruption_spec(args)
             topology = _build_topology(args)
+            _check_anneal_window(args)
         except DisruptionArgsError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -650,6 +679,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             disruptions=disruption_spec,
             restart_policy=restart_policy,
             checkpoint_interval=args.checkpoint_interval,
+            anneal_window=args.anneal_window,
         )
         base = run_single(
             args.scenario,
@@ -665,12 +695,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         block = {
             "fcfs": normalize_to_baseline(base.values, base.values),
-            args.scheduler: normalize_to_baseline(run.values, base.values),
+            run.scheduler: normalize_to_baseline(run.values, base.values),
         }
         print(
             report.render_normalized_block(
                 block,
-                f"{args.scenario}, {args.n_jobs} jobs, {args.scheduler}",
+                f"{args.scenario}, {args.n_jobs} jobs, {run.scheduler}",
             )
         )
         if run.disruption_sig != "none":

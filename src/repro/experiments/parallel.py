@@ -32,6 +32,7 @@ from repro.experiments.runner import (
     run_single,
 )
 from repro.experiments.store import CellKey, RunStore, cell_key
+from repro.schedulers.registry import supports_anneal_window
 from repro.sim.disruptions import DisruptionSpec, disruption_signature
 from repro.sim.topology import ClusterTopology, topology_signature
 from repro.workloads.generator import ArrivalMode
@@ -61,13 +62,25 @@ class MatrixCell:
     restart_policy: str = "resubmit"
     checkpoint_interval: Optional[float] = None
     topology: Optional[ClusterTopology] = None
+    anneal_window: Optional[int] = None
+
+    @property
+    def scheduler_label(self) -> str:
+        """Recorded scheduler name: ``<name>@w<W>`` when a window
+        applies (a windowed search is a different experiment), the
+        plain registry name for window-blind policies."""
+        if self.anneal_window is not None and supports_anneal_window(
+            self.scheduler
+        ):
+            return f"{self.scheduler}@w{self.anneal_window}"
+        return self.scheduler
 
     @property
     def key(self) -> CellKey:
         return cell_key(
             self.scenario,
             self.n_jobs,
-            self.scheduler,
+            self.scheduler_label,
             self.workload_seed,
             self.scheduler_seed,
             self.arrival_mode,
@@ -92,19 +105,21 @@ def expand_cells(
     restart_policy: str = "resubmit",
     checkpoint_interval: Optional[float] = None,
     topology: Optional[ClusterTopology] = None,
+    anneal_window: Optional[int] = None,
 ) -> list[MatrixCell]:
     """Enumerate the full matrix in canonical (deterministic) order.
 
     Nesting matches :func:`~repro.experiments.runner.run_matrix` —
     scenario → size → scheduler — with seed replication innermost, so a
     single-seed parallel sweep returns runs in exactly the serial
-    order. Disruption and topology settings apply uniformly to every
-    cell.
+    order. Disruption, topology, and windowing settings apply uniformly
+    to every cell.
     """
     return [
         MatrixCell(
             scenario, n_jobs, scheduler, wseed, sseed, arrival_mode,
             disruptions, restart_policy, checkpoint_interval, topology,
+            anneal_window,
         )
         for scenario in scenarios
         for n_jobs in sizes
@@ -135,6 +150,7 @@ def _execute_cell(cell: MatrixCell) -> ExperimentRun:
         restart_policy=cell.restart_policy,
         checkpoint_interval=cell.checkpoint_interval,
         topology=cell.topology,
+        anneal_window=cell.anneal_window,
     )
 
 
@@ -232,6 +248,7 @@ def run_matrix_parallel(
     restart_policy: str = "resubmit",
     checkpoint_interval: Optional[float] = None,
     topology: Optional[ClusterTopology] = None,
+    anneal_window: Optional[int] = None,
     workers: Optional[int] = None,
     store: Optional[Union[RunStore, str, Path]] = None,
     resume: bool = False,
@@ -267,6 +284,7 @@ def run_matrix_parallel(
         restart_policy=restart_policy,
         checkpoint_interval=checkpoint_interval,
         topology=topology,
+        anneal_window=anneal_window,
     )
     return run_cells(
         cells,

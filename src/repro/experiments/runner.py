@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.stats import LatencySummary, summarize_latencies
 from repro.metrics.objectives import MetricReport, compute_metrics
-from repro.schedulers.registry import create_scheduler
+from repro.schedulers.registry import create_scheduler, supports_anneal_window
 from repro.experiments.store import CellKey, cell_key
 from repro.sim.cluster import ClusterModel, ResourcePool
 from repro.sim.disruptions import (
@@ -149,6 +149,7 @@ def run_single(
     disruptions: Optional[DisruptionSpec] = None,
     restart_policy: str = "resubmit",
     checkpoint_interval: Optional[float] = None,
+    anneal_window: Optional[int] = None,
     verify: bool = True,
 ) -> ExperimentRun:
     """Simulate one scenario instance under one scheduler.
@@ -158,6 +159,12 @@ def run_single(
     jobs:
         Pre-generated workload override (e.g. a Polaris trace); when
         given, *scenario*/*n_jobs*/*workload_seed* are labels only.
+    anneal_window:
+        Windowed-replanning width for window-aware schedulers (the
+        annealer); ignored — and absent from the recorded scheduler
+        label — for policies that do not consume it. A windowed run is
+        a different experiment than a full-search one, so the label
+        (and therefore the cell key) becomes ``<scheduler>@w<W>``.
     cluster:
         Cluster model override (defaults to the paper's 256/2048
         partition).
@@ -206,7 +213,17 @@ def run_single(
             horizon=estimate_horizon(job_list, the_cluster.total_nodes),
             topology=the_topology,
         )
-    sched = create_scheduler(scheduler, seed=scheduler_seed)
+    window = (
+        anneal_window if supports_anneal_window(scheduler) else None
+    )
+    if window is not None:
+        sched = create_scheduler(
+            scheduler, seed=scheduler_seed, anneal_window=window
+        )
+        scheduler_label = f"{scheduler}@w{window}"
+    else:
+        sched = create_scheduler(scheduler, seed=scheduler_seed)
+        scheduler_label = scheduler
     sim = HPCSimulator(
         jobs=job_list,
         scheduler=sched,
@@ -224,7 +241,7 @@ def run_single(
     return ExperimentRun(
         scenario=scenario,
         n_jobs=len(job_list),
-        scheduler=scheduler,
+        scheduler=scheduler_label,
         workload_seed=workload_seed,
         scheduler_seed=scheduler_seed,
         result=result,
@@ -253,6 +270,7 @@ def run_matrix(
     restart_policy: str = "resubmit",
     checkpoint_interval: Optional[float] = None,
     topology: Optional[ClusterTopology] = None,
+    anneal_window: Optional[int] = None,
 ) -> list[ExperimentRun]:
     """Cross product of scenarios × sizes × schedulers.
 
@@ -281,6 +299,7 @@ def run_matrix(
                         disruptions=disruptions,
                         restart_policy=restart_policy,
                         checkpoint_interval=checkpoint_interval,
+                        anneal_window=anneal_window,
                     )
                 )
     return runs

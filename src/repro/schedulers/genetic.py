@@ -12,8 +12,23 @@ ablations (same objective, same schedule decoder, different search).
 Representation: a chromosome is a job-priority permutation, decoded by
 the serial schedule-generation scheme of
 :mod:`repro.schedulers.packing`. Selection is k-tournament; crossover
-is order crossover (OX1, the standard permutation operator); mutation
-swaps two positions. Elitism preserves the best chromosome.
+is order crossover; mutation swaps two positions. Elitism preserves
+the best chromosome.
+
+Two crossover modes share that skeleton:
+
+* **prefix-sharing** (default): the copied parent-A slice is anchored
+  at position 0, so every child shares parent A's *prefix* up to the
+  cut. Children are then decoded through
+  :meth:`~repro.schedulers.packing.IncrementalPacker.pack_from`
+  against the parent's retained pack state — the same suffix-only
+  re-pack the annealer exploits per move, applied generation-wide:
+  each evaluation packs only the genes after the cut (or after the
+  first mutated position) instead of the whole permutation.
+* **legacy OX1** (``prefix_crossover=False``): the classic
+  middle-slice operator with cold full packs per chromosome —
+  byte-identical to the pre-prefix engine, retained for ablations and
+  the regression pin.
 """
 
 from __future__ import annotations
@@ -39,7 +54,14 @@ from repro.sim.simulator import SystemView
 
 @dataclass
 class GeneticConfig:
-    """GA hyperparameters. Defaults are sized for ≤100-job queues."""
+    """GA hyperparameters. Defaults are sized for ≤100-job queues.
+
+    ``prefix_crossover`` selects the prefix-sharing operator (children
+    share a parent's prefix up to the cut and are evaluated through
+    the packer's prefix cache); ``False`` restores the legacy OX1
+    middle-slice operator with cold full packs — the pre-prefix
+    engine, bit for bit.
+    """
 
     population: int = 20
     generations: int = 15
@@ -48,6 +70,7 @@ class GeneticConfig:
     mutation_rate: float = 0.2
     elite: int = 2
     flow_time_weight: float = 1e-3
+    prefix_crossover: bool = True
 
     def __post_init__(self) -> None:
         if self.population < 2:
@@ -80,6 +103,23 @@ def order_crossover(
     return child  # type: ignore[return-value]
 
 
+def prefix_crossover(
+    parent_a: list[int], parent_b: list[int], rng: np.random.Generator
+) -> tuple[list[int], int]:
+    """Prefix-anchored order crossover: copy parent A's prefix up to a
+    random cut, fill the suffix with the remaining genes in parent B's
+    relative order. Returns ``(child, cut)`` — the child is guaranteed
+    to share A's first ``cut`` genes, which is what lets the decoder
+    re-pack only the suffix against A's cached pack state."""
+    n = len(parent_a)
+    if n < 2:
+        return list(parent_a), n
+    cut = int(rng.integers(1, n))
+    taken = set(parent_a[:cut])
+    child = parent_a[:cut] + [g for g in parent_b if g not in taken]
+    return child, cut
+
+
 class GeneticOptimizer(BaseScheduler):
     """GA-driven list scheduler over the shared packing model.
 
@@ -110,6 +150,9 @@ class GeneticOptimizer(BaseScheduler):
         self._plan: list[PackedJob] = []
         self._plan_pos = 0
         self.generations_run = 0
+        #: Aggregated packer work counters across planning events
+        #: (prefix mode only — the legacy path predates the counters).
+        self._pack_stats: dict[str, int] = {}
 
     # -- GA machinery --------------------------------------------------------
     def _fitness(self, placements: list[PackedJob], now: float) -> float:
@@ -122,29 +165,54 @@ class GeneticOptimizer(BaseScheduler):
             / n
         )
 
-    def _packer(self, view: SystemView) -> IncrementalPacker:
+    def _packer(
+        self, view: SystemView, *, prefix_n: int = 0
+    ) -> IncrementalPacker:
         """One reusable packer per planning event: the release profile
         is built once and restored in O(k) per evaluation instead of
         being reconstructed for every chromosome.
 
-        GA chromosomes are unordered relative to each other, so the
-        prefix cache cannot help; ``checkpoint_stride`` is set huge to
-        skip checkpointing entirely (full packs only).
+        In legacy OX1 mode chromosomes are unordered relative to each
+        other, so the prefix cache cannot help; ``checkpoint_stride``
+        is set huge to skip checkpointing entirely (full packs only).
+        In prefix mode (``prefix_n`` = queue size) the packer keeps
+        sparse checkpoints per incumbent and retains two generations'
+        worth of incumbents, so each child restores its parent's state
+        at the cut in O(k) and packs only the suffix.
         """
         releases = [
             (run.expected_end, run.job.nodes, run.job.memory_gb)
             for run in view.running
         ]
+        if prefix_n:
+            stride = max(1, prefix_n // 16)
+            retain = 2 * self.config.population
+        else:
+            stride, retain = 1 << 30, 0
         return IncrementalPacker(
             now=view.now,
             free_nodes=view.free_nodes,
             free_memory_gb=view.free_memory_gb,
             releases=releases,
-            checkpoint_stride=1 << 30,
+            checkpoint_stride=stride,
+            retain_incumbents=retain,
         )
 
     def _pack(self, order: list[Job], view: SystemView) -> list[PackedJob]:
         return self._packer(view).pack(order)
+
+    def _seed_population(
+        self, ids: list[int], by_id: dict[int, Job]
+    ) -> list[list[int]]:
+        """Strong heuristic orders (LPT, SPT) plus seeded shuffles."""
+        lpt = sorted(ids, key=lambda jid: -by_id[jid].node_seconds)
+        spt = sorted(ids, key=lambda jid: by_id[jid].walltime)
+        population = [lpt, spt]
+        while len(population) < self.config.population:
+            perm = list(ids)
+            self._rng.shuffle(perm)
+            population.append(perm)
+        return population
 
     def _evolve_subset(
         self, jobs: list[Job], view: SystemView
@@ -154,6 +222,17 @@ class GeneticOptimizer(BaseScheduler):
         jobs = effective_jobs(view, jobs)
         by_id = {j.job_id: j for j in jobs}
         ids = [j.job_id for j in jobs]
+        if self.config.prefix_crossover:
+            best = self._evolve_prefix(ids, by_id, view)
+        else:
+            best = self._evolve_legacy(ids, by_id, view)
+        return [by_id[jid] for jid in best]
+
+    def _evolve_legacy(
+        self, ids: list[int], by_id: dict[int, Job], view: SystemView
+    ) -> list[int]:
+        """The pre-prefix engine: OX1 crossover, cold full pack per
+        chromosome. Byte-identical to the PR-4 GA (pinned by digest)."""
         cfg = self.config
         rng = self._rng
         packer = self._packer(view)
@@ -162,14 +241,7 @@ class GeneticOptimizer(BaseScheduler):
             order = [by_id[jid] for jid in chromosome]
             return self._fitness(packer.pack(order), view.now)
 
-        # Seed the population with strong heuristic orders + shuffles.
-        lpt = sorted(ids, key=lambda jid: -by_id[jid].node_seconds)
-        spt = sorted(ids, key=lambda jid: by_id[jid].walltime)
-        population = [lpt, spt]
-        while len(population) < cfg.population:
-            perm = list(ids)
-            rng.shuffle(perm)
-            population.append(perm)
+        population = self._seed_population(ids, by_id)
         scores = [evaluate(c) for c in population]
 
         for _ in range(cfg.generations):
@@ -198,8 +270,105 @@ class GeneticOptimizer(BaseScheduler):
             population = next_pop
             scores = [evaluate(c) for c in population]
 
-        best = population[int(np.argmin(scores))]
-        return [by_id[jid] for jid in best]
+        return population[int(np.argmin(scores))]
+
+    def _evolve_prefix(
+        self, ids: list[int], by_id: dict[int, Job], view: SystemView
+    ) -> list[int]:
+        """Prefix-sharing GA: children share a parent's prefix up to
+        the crossover cut (or the first mutated position) and are
+        decoded via ``pack_from`` against the parent's retained pack
+        state — every evaluation packs only the changed suffix.
+
+        Population members are ``(chromosome, score, pack_key)``
+        triples; ``pack_key`` addresses the member's retained incumbent
+        inside the packer (two generations retained, FIFO-evicted, so
+        memory stays bounded while parents of the *current* breeding
+        step are always resident; an evicted parent just costs one cold
+        full pack)."""
+        cfg = self.config
+        rng = self._rng
+        n = len(ids)
+        packer = self._packer(view, prefix_n=n)
+        next_key = iter(range(1 << 62))
+
+        def order_of(chromosome: list[int]) -> list[Job]:
+            return [by_id[jid] for jid in chromosome]
+
+        def pack_member(
+            chromosome: list[int],
+            parent_key: Optional[int],
+            shared_prefix: int,
+        ) -> tuple[float, int]:
+            order = order_of(chromosome)
+            if parent_key is not None and packer.load_incumbent(parent_key):
+                placements = packer.pack_from(order, shared_prefix)
+                packer.commit(order, shared_prefix, placements)
+            else:
+                placements = packer.pack(order)
+            key = next(next_key)
+            packer.save_incumbent(key)
+            return self._fitness(placements, view.now), key
+
+        members = []
+        for chromosome in self._seed_population(ids, by_id):
+            score, key = pack_member(chromosome, None, 0)
+            members.append((chromosome, score, key))
+
+        def tournament_index() -> int:
+            contenders = rng.choice(
+                len(members),
+                size=min(cfg.tournament_k, len(members)),
+                replace=False,
+            )
+            return min(contenders, key=lambda i: members[i][1])
+
+        for _ in range(cfg.generations):
+            self.generations_run += 1
+            ranked = sorted(
+                range(len(members)), key=lambda i: members[i][1]
+            )
+            # Elites carry their chromosome, score, and incumbent over
+            # unchanged; re-saving the pack state under a fresh key
+            # refreshes its retention recency (O(1), shared snapshots).
+            next_members = []
+            for i in ranked[: cfg.elite]:
+                chromosome, score, key = members[i]
+                if packer.load_incumbent(key):
+                    key = next(next_key)
+                    packer.save_incumbent(key)
+                next_members.append((list(chromosome), score, key))
+            while len(next_members) < cfg.population:
+                if rng.random() < cfg.crossover_rate and n >= 2:
+                    parent = tournament_index()
+                    child, shared = prefix_crossover(
+                        members[parent][0],
+                        members[tournament_index()][0],
+                        rng,
+                    )
+                else:
+                    parent = tournament_index()
+                    child, shared = list(members[parent][0]), n
+                if rng.random() < cfg.mutation_rate and n >= 2:
+                    i, j = rng.choice(n, size=2, replace=False)
+                    child[i], child[j] = child[j], child[i]
+                    shared = min(shared, int(min(i, j)))
+                parent_key = members[parent][2]
+                if shared >= n:
+                    # Unchanged clone: the parent's score and pack
+                    # state stand in verbatim — no packing at all.
+                    next_members.append(
+                        (child, members[parent][1], parent_key)
+                    )
+                    continue
+                score, key = pack_member(child, parent_key, shared)
+                next_members.append((child, score, key))
+            members = next_members
+
+        for stat, value in packer.stats.as_dict().items():
+            self._pack_stats[stat] = self._pack_stats.get(stat, 0) + value
+        best = min(range(len(members)), key=lambda i: members[i][1])
+        return members[best][0]
 
     # -- SchedulerProtocol -------------------------------------------------
     def decide(self, view: SystemView) -> Action:
@@ -249,4 +418,10 @@ class GeneticOptimizer(BaseScheduler):
         return Delay
 
     def collect_extras(self) -> dict[str, Any]:
-        return {"generations": self.generations_run}
+        extras: dict[str, Any] = {
+            "generations": self.generations_run,
+            "prefix_crossover": self.config.prefix_crossover,
+        }
+        if self._pack_stats:
+            extras["pack_stats"] = dict(self._pack_stats)
+        return extras

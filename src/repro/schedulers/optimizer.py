@@ -50,13 +50,22 @@ from repro.sim.simulator import SystemView
 
 @dataclass
 class PlanStatistics:
-    """Bookkeeping about one replanning event."""
+    """Bookkeeping about one replanning event.
+
+    ``jobs_packed`` counts every placement the event's search paid for
+    (an earliest-fit scan + reservation each); with ``accepted_moves``
+    it yields the packed-jobs-per-accepted-move figure the bench
+    tracks — the quantity windowed replanning bounds.
+    """
 
     time: float
     queue_size: int
     iterations: int
     initial_objective: float
     final_objective: float
+    window: Optional[int] = None
+    accepted_moves: int = 0
+    jobs_packed: int = 0
 
     @property
     def improvement(self) -> float:
@@ -73,6 +82,17 @@ class AnnealingConfig:
     ``iterations`` scales with queue size (``base + per_job * n``,
     capped) so small queues replan cheaply; ``t0_fraction`` sets the
     initial temperature as a fraction of the initial objective.
+
+    ``window`` bounds the search to the first W positions of the
+    priority order: the tail is frozen as a fixed suffix, packed once
+    per replanning event, and every annealing move re-packs at most W
+    placements instead of an O(queue) suffix. ``None`` (the default)
+    keeps the full search — bit-identical to the pre-window engine.
+
+    ``late_pivot_p`` biases the move set toward late pivots: the lower
+    swap position sits a Geometric(p)-distributed distance from the end
+    of the order, so re-packed suffixes average ~1/p jobs even without
+    a window. ``None`` (the default) keeps uniform position pairs.
     """
 
     base_iterations: int = 60
@@ -81,6 +101,24 @@ class AnnealingConfig:
     t0_fraction: float = 0.05
     cooling: float = 0.995
     flow_time_weight: float = 1e-3
+    window: Optional[int] = None
+    late_pivot_p: Optional[float] = None
+    #: Windowed search only: the iteration budget is split into this
+    #: many epochs, and at each epoch boundary the full order (current
+    #: head + frozen tail) is re-packed once to ground the epoch's
+    #: incumbent in the *true* objective — the returned plan is the
+    #: true-best over epoch boundaries plus the surrogate-best head.
+    window_epochs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.window is not None and self.window < 2:
+            raise ValueError("window must be at least 2 (or None)")
+        if self.late_pivot_p is not None and not (
+            0.0 < self.late_pivot_p <= 1.0
+        ):
+            raise ValueError("late_pivot_p must be in (0, 1] (or None)")
+        if self.window_epochs < 1:
+            raise ValueError("window_epochs must be at least 1")
 
     def iterations_for(self, n: int) -> int:
         return min(
@@ -117,6 +155,11 @@ class AnnealingOptimizer(BaseScheduler):
         #: path, kept selectable for equivalence tests and the bench's
         #: before/after replanning measurement.
         self.use_incremental = use_incremental
+        if self.config.window is not None and not use_incremental:
+            raise ValueError(
+                "windowed replanning requires the incremental packer "
+                "(window=None or use_incremental=True)"
+            )
         self._rng = np.random.default_rng(seed)
         self._planned_ids: set[int] = set()
         #: Jobs this plan already started; one of them reappearing in
@@ -144,6 +187,154 @@ class AnnealingOptimizer(BaseScheduler):
         return plan_makespan(placements, now) + (
             self.config.flow_time_weight * plan_total_completion(placements) / n
         )
+
+    def _sample_move(self, m: int) -> Optional[tuple[int, int]]:
+        """Draw one swap move over ``range(m)`` as ``(lo, hi)``.
+
+        Uniform position pairs by default (``None`` on an i == j draw,
+        matching the legacy skip); with ``late_pivot_p`` the lower
+        position sits a Geometric(p) distance from the end of the
+        order, so the re-packed suffix averages ~1/p jobs.
+        """
+        p = self.config.late_pivot_p
+        if p is None:
+            i, j = self._rng.integers(0, m, size=2)
+            if i == j:
+                return None
+            return (int(i), int(j)) if i < j else (int(j), int(i))
+        lo = m - 1 - int(self._rng.geometric(p))
+        if lo < 0:
+            lo = 0
+        hi = lo + 1 + int(self._rng.integers(0, m - lo - 1))
+        return lo, hi
+
+    def _anneal_full(
+        self,
+        order: list,
+        initial_obj: float,
+        now: float,
+        iterations: int,
+        pack_candidate,
+        commit,
+    ) -> tuple[list, float, int]:
+        """Legacy full-width annealing over the whole priority order.
+
+        Byte-compatible with the pre-window engine: identical RNG call
+        sequence, identical float comparisons, identical commits.
+        """
+        cur_order = list(order)
+        best_order = order
+        best_obj = cur_obj = initial_obj
+        temp = max(best_obj * self.config.t0_fraction, 1e-9)
+        accepted = 0
+        for _ in range(iterations):
+            move = self._sample_move(len(cur_order))
+            if move is None:
+                continue
+            lo, hi = move
+            cand = list(cur_order)
+            cand[lo], cand[hi] = cand[hi], cand[lo]
+            # The candidate shares the incumbent's prefix below the
+            # lower swap position: only the suffix is re-packed.
+            cand_placements = pack_candidate(cand, lo)
+            cand_obj = self._objective(cand_placements, now)
+            delta = cand_obj - cur_obj
+            if delta <= 0 or self._rng.random() < math.exp(-delta / temp):
+                commit(cand, lo, cand_placements)
+                cur_order, cur_obj = cand, cand_obj
+                accepted += 1
+                if cur_obj < best_obj:
+                    best_order, best_obj = cand, cur_obj
+            temp *= self.config.cooling
+        return best_order, best_obj, accepted
+
+    def _anneal_windowed(
+        self,
+        packer: IncrementalPacker,
+        order: list,
+        placements: list[PackedJob],
+        now: float,
+        iterations: int,
+    ) -> tuple[list, Optional[list[PackedJob]], int]:
+        """Bounded-suffix annealing over the first ``window`` positions.
+
+        The tail ``order[window:]`` is frozen as a fixed suffix, so an
+        annealing move re-packs at most ``window`` placements —
+        independent of queue length. Moves are scored by a head-only
+        surrogate (makespan + flow over the head placements): the
+        frozen tail contributes no gradient, and a compact head is what
+        frees early gaps for the tail to fill. To keep the search
+        honest against the *true* objective, the iteration budget is
+        split into ``window_epochs`` epochs and the full order is
+        re-packed once per epoch incumbent; the best full order seen at
+        those groundings (or the final surrogate-best head) is
+        returned, along with its already-computed full placements
+        (``None`` when no grounding ran — the caller packs then).
+        Total packing work per replanning event:
+        O(iterations × window + epochs × queue).
+        """
+        cfg = self.config
+        window = cfg.window
+        fw = cfg.flow_time_weight
+        tail_order = order[window:]
+
+        def surrogate(head_placements: list[PackedJob]) -> float:
+            head_max = max(p.end for p in head_placements)
+            total = float(sum(p.end for p in head_placements))
+            return (head_max - now) + fw * total / window
+
+        cur_head = list(order[:window])
+        best_head = cur_head
+        best_obj = cur_obj = surrogate(placements[:window])
+        temp = max(cur_obj * cfg.t0_fraction, 1e-9)
+        accepted = 0
+        # Groundings cost a full O(queue) pack each; cap them at one
+        # per ~150 iterations so a small search budget is spent on
+        # moves, not on re-realizing the tail.
+        epochs = min(cfg.window_epochs, max(1, iterations // 150))
+        true_best: Optional[tuple[list, list[PackedJob]]] = None
+        true_best_obj = math.inf
+        boundaries = {
+            (e + 1) * iterations // epochs for e in range(epochs - 1)
+        }
+        for it in range(iterations):
+            move = self._sample_move(window)
+            if move is not None:
+                lo, hi = move
+                cand = list(cur_head)
+                cand[lo], cand[hi] = cand[hi], cand[lo]
+                # cand is head-only: pack_from re-packs cand[lo:] and
+                # never touches the frozen tail.
+                head_placements = packer.pack_from(cand, lo)
+                cand_obj = surrogate(head_placements)
+                delta = cand_obj - cur_obj
+                if delta <= 0 or self._rng.random() < math.exp(
+                    -delta / temp
+                ):
+                    packer.commit(cand, lo, head_placements)
+                    cur_head, cur_obj = cand, cand_obj
+                    accepted += 1
+                    if cur_obj < best_obj:
+                        best_head, best_obj = cand, cur_obj
+                temp *= cfg.cooling
+            if it + 1 in boundaries:
+                # Epoch grounding: realize the tail under the current
+                # head and score the true objective once.
+                full = packer.pack(cur_head + tail_order)
+                true_obj = self._objective(full, now)
+                if true_obj < true_best_obj:
+                    true_best = (list(cur_head), full)
+                    true_best_obj = true_obj
+        if true_best is not None:
+            # Let the final surrogate-best head compete with the epoch
+            # groundings on the true objective; either way the winning
+            # placements are already computed — no caller re-pack.
+            final_full = packer.pack(best_head + tail_order)
+            if true_best_obj < self._objective(final_full, now):
+                grounded_head, grounded_full = true_best
+                return grounded_head + tail_order, grounded_full, accepted
+            return best_head + tail_order, final_full, accepted
+        return best_head + tail_order, None, accepted
 
     def _replan(self, view: SystemView) -> None:
         jobs = list(view.queued)
@@ -186,6 +377,7 @@ class AnnealingOptimizer(BaseScheduler):
             self._plan_pos = 0
             self._planned_ids = {j.job_id for j in unpackable}
             return
+        packed_counter = [0]
         if self.use_incremental:
             packer = IncrementalPacker(
                 now=view.now,
@@ -197,11 +389,13 @@ class AnnealingOptimizer(BaseScheduler):
             pack_candidate = packer.pack_from
             commit = packer.commit
         else:
+            packer = None
             from repro.schedulers.packing_reference import (
                 reference_pack_order,
             )
 
             def pack_full(order):
+                packed_counter[0] += len(order)
                 return reference_pack_order(
                     order,
                     now=view.now,
@@ -221,40 +415,39 @@ class AnnealingOptimizer(BaseScheduler):
         # clusters with real failure domains, requeued jobs that no
         # healthy domain can currently host are demoted behind the
         # rest (spread-across-domains: don't race a restart back into
-        # the failing rack); identity on flat topologies.
+        # the failing rack); identity on flat topologies. The windowed
+        # search freezes the tail, so those demotions stay put.
         order = sorted(jobs, key=lambda j: (-j.node_seconds, j.job_id))
         order = spread_requeue(view, order)
         placements = pack_full(order)
-        best_order = order
-        best_obj = cur_obj = self._objective(placements, view.now)
-        initial_obj = best_obj
-
+        best_obj = initial_obj = self._objective(placements, view.now)
         iterations = self.config.iterations_for(n)
-        temp = max(best_obj * self.config.t0_fraction, 1e-9)
-        cur_order = list(order)
-        if n >= 2:
-            for _ in range(iterations):
-                i, j = self._rng.integers(0, n, size=2)
-                if i == j:
-                    continue
-                cand = list(cur_order)
-                cand[i], cand[j] = cand[j], cand[i]
-                # The candidate shares the incumbent's prefix below the
-                # lower swap position: only the suffix is re-packed.
-                pivot = int(min(i, j))
-                cand_placements = pack_candidate(cand, pivot)
-                cand_obj = self._objective(cand_placements, view.now)
-                delta = cand_obj - cur_obj
-                if delta <= 0 or self._rng.random() < math.exp(
-                    -delta / temp
-                ):
-                    commit(cand, pivot, cand_placements)
-                    cur_order, cur_obj = cand, cand_obj
-                    if cur_obj < best_obj:
-                        best_order, best_obj = cand, cur_obj
-                temp *= self.config.cooling
 
-        final = pack_full(best_order)
+        window = self.config.window
+        accepted = 0
+        if window is not None and 2 <= window < n:
+            best_order, final, accepted = self._anneal_windowed(
+                packer, order, placements, view.now, iterations
+            )
+            if final is None:  # no epoch grounding packed the winner
+                final = pack_full(best_order)
+            final_obj = self._objective(final, view.now)
+            # The windowed search optimizes a frozen-tail surrogate;
+            # re-packing the tail under the winning head can land
+            # (slightly) elsewhere. Never regress past the heuristic
+            # initial order, whose placements are already in hand.
+            if final_obj > initial_obj:
+                final, best_obj = placements, initial_obj
+            else:
+                best_obj = final_obj
+        elif n >= 2:
+            best_order, best_obj, accepted = self._anneal_full(
+                order, best_obj, view.now, iterations,
+                pack_candidate, commit,
+            )
+            final = pack_full(best_order)
+        else:
+            final = placements
         # Execute in planned start-time order; capacity-starved jobs
         # (failed nodes) trail the plan until repairs let them fit.
         self._plan = sorted(final, key=lambda p: (p.start, p.job.job_id))
@@ -268,6 +461,13 @@ class AnnealingOptimizer(BaseScheduler):
                 iterations=iterations,
                 initial_objective=initial_obj,
                 final_objective=best_obj,
+                window=window,
+                accepted_moves=accepted,
+                jobs_packed=(
+                    packer.stats.jobs_packed
+                    if packer is not None
+                    else packed_counter[0]
+                ),
             )
         )
 
@@ -303,7 +503,15 @@ class AnnealingOptimizer(BaseScheduler):
         return Delay
 
     def collect_extras(self) -> dict[str, Any]:
+        packed = sum(s.jobs_packed for s in self._stats)
+        accepted = sum(s.accepted_moves for s in self._stats)
         return {
             "replans": len(self._stats),
             "plan_stats": list(self._stats),
+            "anneal_window": self.config.window,
+            "packed_jobs": packed,
+            "accepted_moves": accepted,
+            "packed_jobs_per_accepted_move": (
+                packed / accepted if accepted else float(packed)
+            ),
         }

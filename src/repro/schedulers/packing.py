@@ -35,7 +35,7 @@ evaluations per replanning event.
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -328,6 +328,57 @@ class PackedJob:
         return self.start + self.job.duration
 
 
+@dataclass
+class PackStats:
+    """Work counters one :class:`IncrementalPacker` accumulates.
+
+    ``jobs_packed`` counts real placements (an ``earliest_start``
+    search plus a reservation) — the unit the windowed-annealing and
+    prefix-GA optimizations minimize; ``jobs_replayed`` counts
+    known-reservation replays on the checkpoint-restore path, which
+    cost one trusted reserve and no search. The bench's
+    packed-jobs-per-accepted-move figure divides ``jobs_packed`` by
+    the consumer's accepted-move count.
+    """
+
+    jobs_packed: int = 0
+    jobs_replayed: int = 0
+    full_packs: int = 0
+    suffix_packs: int = 0
+    commits: int = 0
+    incumbents_saved: int = 0
+    incumbents_loaded: int = 0
+    incumbents_evicted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "jobs_packed": self.jobs_packed,
+            "jobs_replayed": self.jobs_replayed,
+            "full_packs": self.full_packs,
+            "suffix_packs": self.suffix_packs,
+            "commits": self.commits,
+            "incumbents_saved": self.incumbents_saved,
+            "incumbents_loaded": self.incumbents_loaded,
+            "incumbents_evicted": self.incumbents_evicted,
+        }
+
+
+@dataclass
+class _Incumbent:
+    """One retained (order, placements, checkpoints) pack state.
+
+    Snapshots are immutable and *shared*: an incumbent committed from a
+    ``pack_from`` at pivot *c* keeps every checkpoint at or below *c*
+    by reference, so a GA generation whose children share parents'
+    prefixes holds one snapshot per distinct prefix state, not one per
+    chromosome.
+    """
+
+    order: list[Job] = field(default_factory=list)
+    placements: list[PackedJob] = field(default_factory=list)
+    checkpoints: dict[int, ProfileSnapshot] = field(default_factory=dict)
+
+
 class IncrementalPacker:
     """Prefix-cached serial schedule generation for one decision state.
 
@@ -359,6 +410,7 @@ class IncrementalPacker:
         free_memory_gb: float,
         releases: Iterable[tuple[float, float, float]] = (),
         checkpoint_stride: Optional[int] = None,
+        retain_incumbents: int = 0,
     ) -> None:
         self._now = now
         self._profile = ResourceProfile(
@@ -366,11 +418,20 @@ class IncrementalPacker:
         )
         self._base = self._profile.snapshot()
         self._stride_override = checkpoint_stride
-        self._order: list[Job] = []
-        self._placements: list[PackedJob] = []
         # Checkpoint 0 from the start so pack_from() before any pack()
         # degrades to a pivot-0 full pack instead of failing.
-        self._checkpoints: dict[int, ProfileSnapshot] = {0: self._base}
+        self._inc = _Incumbent(checkpoints={0: self._base})
+        #: Retention budget for :meth:`save_incumbent` (0 disables the
+        #: cache entirely); oldest saved incumbents are evicted first.
+        self._retain_incumbents = retain_incumbents
+        self._saved: dict[object, _Incumbent] = {}
+        self.stats = PackStats()
+
+    @property
+    def _placements(self) -> list[PackedJob]:
+        # Back-compat alias used by tests/consumers predating the
+        # multi-incumbent cache.
+        return self._inc.placements
 
     def _stride_for(self, n: int) -> int:
         if self._stride_override is not None:
@@ -385,6 +446,7 @@ class IncrementalPacker:
         self._profile.reserve_trusted(
             start, job.duration, job.nodes, job.memory_gb
         )
+        self.stats.jobs_packed += 1
         return PackedJob(job, start)
 
     # -- packing ------------------------------------------------------------
@@ -398,40 +460,44 @@ class IncrementalPacker:
             if p and p % stride == 0:
                 checkpoints[p] = self._profile.snapshot()
             placements.append(self._place(job))
-        self._order = list(order)
-        self._placements = placements
-        self._checkpoints = checkpoints
+        self._inc = _Incumbent(list(order), placements, checkpoints)
+        self.stats.full_packs += 1
         return list(placements)
 
     def _restore_to(self, pivot: int) -> None:
         """Put the profile in the incumbent's state after ``[0, pivot)``."""
-        anchor = max(p for p in self._checkpoints if p <= pivot)
-        self._profile.restore(self._checkpoints[anchor])
-        stride = self._stride_for(len(self._order))
+        inc = self._inc
+        anchor = max(p for p in inc.checkpoints if p <= pivot)
+        self._profile.restore(inc.checkpoints[anchor])
+        stride = self._stride_for(len(inc.order))
         for p in range(anchor, pivot):
-            pl = self._placements[p]
+            pl = inc.placements[p]
             self._profile.reserve_trusted(
                 pl.start, pl.job.duration, pl.job.nodes, pl.job.memory_gb
             )
+            self.stats.jobs_replayed += 1
             # Densify checkpoints along the replay path so repeated
             # restores near this pivot skip the replay next time.
             nxt = p + 1
-            if nxt % stride == 0 and nxt not in self._checkpoints:
-                self._checkpoints[nxt] = self._profile.snapshot()
+            if nxt % stride == 0 and nxt not in inc.checkpoints:
+                inc.checkpoints[nxt] = self._profile.snapshot()
 
     def pack_from(
         self, order: Sequence[Job], pivot: int
     ) -> list[PackedJob]:
         """Speculatively pack *order*, whose first *pivot* entries match
-        the incumbent order, re-packing only ``order[pivot:]``.
+        the incumbent order, re-packing only ``order[pivot:]``. (The
+        windowed annealer passes head-only orders, so the frozen tail
+        is never packed here at all.)
 
         Does not change the incumbent; call :meth:`commit` to adopt the
         candidate.
         """
-        pivot = min(pivot, len(self._placements))
+        pivot = min(pivot, len(self._inc.placements))
         self._restore_to(pivot)
         suffix = [self._place(job) for job in order[pivot:]]
-        return self._placements[:pivot] + suffix
+        self.stats.suffix_packs += 1
+        return self._inc.placements[:pivot] + suffix
 
     def commit(
         self,
@@ -440,11 +506,48 @@ class IncrementalPacker:
         placements: Sequence[PackedJob],
     ) -> None:
         """Adopt a candidate evaluated via :meth:`pack_from` as the new
-        incumbent; cached state before *pivot* stays valid."""
-        self._order = list(order)
-        self._placements = list(placements)
-        for p in [p for p in self._checkpoints if p > pivot]:
-            del self._checkpoints[p]
+        incumbent; cached state before *pivot* stays valid (snapshots
+        at or below the pivot are carried over by reference)."""
+        checkpoints = {
+            p: snap for p, snap in self._inc.checkpoints.items() if p <= pivot
+        }
+        self._inc = _Incumbent(list(order), list(placements), checkpoints)
+        self.stats.commits += 1
+
+    # -- incumbent retention (one GA generation) ---------------------------
+    def save_incumbent(self, key: object) -> None:
+        """Retain the current incumbent under *key*.
+
+        O(1): the incumbent's placements and snapshots are kept by
+        reference (both are treated as immutable once saved — a later
+        ``pack``/``commit`` replaces ``self._inc`` rather than mutating
+        it). When the retention budget is exceeded, the oldest saved
+        incumbent is evicted — FIFO, matching the GA's use (parents of
+        one generation are saved together and all expire together).
+        """
+        if self._retain_incumbents <= 0:
+            return
+        self._saved.pop(key, None)
+        self._saved[key] = self._inc
+        self.stats.incumbents_saved += 1
+        while len(self._saved) > self._retain_incumbents:
+            oldest = next(iter(self._saved))
+            del self._saved[oldest]
+            self.stats.incumbents_evicted += 1
+
+    def load_incumbent(self, key: object) -> bool:
+        """Make the incumbent saved under *key* current; False if it
+        was never saved or has been evicted."""
+        inc = self._saved.get(key)
+        if inc is None:
+            return False
+        self._inc = inc
+        self.stats.incumbents_loaded += 1
+        return True
+
+    def clear_incumbents(self) -> None:
+        """Drop every saved incumbent (GA: start of a new generation)."""
+        self._saved.clear()
 
 
 def pack_order(

@@ -113,22 +113,41 @@ def fits_healthy_domain(
     """Can *job* start inside at least one domain that is neither
     failing nor about to drain out from under it?
 
-    Vacuously True without real domains, and for jobs wider than one
-    rack (they necessarily span domains; the aggregate drain/capacity
-    tests govern them). Used to keep requeued work from being restarted
-    straight back into the domain whose shock or announced drain just
-    evicted it.
+    Single-rack jobs need one rack with enough healthy capacity. Jobs
+    wider than one rack necessarily spread across racks, but can still
+    live inside a single *switch group*: they fit healthily when some
+    group's racks jointly offer the nodes after subtracting announced
+    drain pressure. Jobs wider than a whole switch group span groups
+    no matter what — the aggregate drain/capacity tests govern them
+    (vacuously True here, as for flat/absent topologies). Used to keep
+    requeued work from being restarted straight back into the domain
+    whose shock or announced drain just evicted it.
     """
     if not view.has_domains:
         return True
     topo = view.topology
-    if job.nodes > topo.rack_size:
-        return True
     if pressures is None:
         pressures = domain_pressures(view)
-    for rack, free in enumerate(view.domain_free_nodes):
+    free = view.domain_free_nodes
+    if job.nodes > topo.rack_size:
+        if job.nodes > topo.rack_size * topo.racks_per_switch:
+            return True
+        # Switch-group level: spread across the group's racks, but stay
+        # behind one healthy switch.
+        for switch in range(topo.n_switches):
+            lo = switch * topo.racks_per_switch
+            hi = min(lo + topo.racks_per_switch, topo.n_racks)
+            group_free = sum(
+                free[r] - (pressures[r] if pressures else 0)
+                for r in range(lo, hi)
+                if free[r] > (pressures[r] if pressures else 0)
+            )
+            if job.nodes <= group_free:
+                return True
+        return False
+    for rack, rack_free in enumerate(free):
         drained = pressures[rack] if pressures else 0
-        if job.nodes <= free - drained:
+        if job.nodes <= rack_free - drained:
             return True
     return False
 

@@ -29,6 +29,10 @@ def tiny_config() -> BenchConfig:
         disruption_mtbf=20_000.0,
         disruption_mttr=400.0,
         disruption_checkpoint=300.0,
+        planning_window=4,
+        planning_latency_cells=((24, 10),),
+        planning_quality_cells=(16,),
+        planning_running=2,
     )
 
 
@@ -56,6 +60,7 @@ class TestRunBench:
     def test_render_report_mentions_sections(self, tiny_report):
         text = render_report(tiny_report)
         assert "replanning event" in text
+        assert "windowed planning" in text
         assert "decision snapshots" in text
         assert "serial sweep" in text
         assert "disruption" in text
@@ -66,6 +71,34 @@ class TestRunBench:
         assert dis["disrupted_us_per_decision"] > 0
         assert dis["overhead_ratio"] > 0
         assert dis["n_preemptions"] >= 0
+
+    def test_planning_section_shape(self, tiny_report):
+        planning = tiny_report["metrics"]["planning"]
+        (lat,) = planning["latency"]
+        assert lat["queue_size"] == 24
+        assert lat["iterations"] == 10
+        assert lat["window"] == 4
+        assert lat["full_ms"] > 0
+        assert lat["windowed_ms"] > 0
+        assert lat["replan_speedup"] > 0
+        # The window bounds packing work per accepted move.
+        assert (
+            lat["windowed_packed_jobs"] <= lat["full_packed_jobs"]
+        )
+        (qual,) = planning["quality"]
+        assert qual["queue_size"] == 16
+        assert qual["full_objective"] > 0
+        assert qual["quality_ratio"] > 0
+
+    def test_planning_metrics_flattened_with_directions(self, tiny_report):
+        flat = bench._flatten(tiny_report)
+        assert "planning[24@10/w4].replan_speedup" in flat
+        assert "planning[24@10/w4].windowed_packed_per_move" in flat
+        assert "planning_quality[16/w4].quality_ratio" in flat
+        for key in flat:
+            assert key.endswith(
+                bench._HIGHER_IS_BETTER_SUFFIXES
+            ) or key.endswith(bench._LOWER_IS_BETTER_SUFFIXES), key
 
     def test_dimensionless_only_comparison(self, tiny_report):
         import copy

@@ -9,6 +9,7 @@ from repro.schedulers.genetic import (
     GeneticConfig,
     GeneticOptimizer,
     order_crossover,
+    prefix_crossover,
 )
 from repro.workloads.generator import generate_workload
 
@@ -40,6 +41,32 @@ class TestOrderCrossover:
             for j in range(i + 2, len(a) + 1)
         )
         assert found
+
+
+class TestPrefixCrossover:
+    def test_child_is_permutation_sharing_parent_prefix(self):
+        rng = np.random.default_rng(0)
+        a = [1, 2, 3, 4, 5, 6, 7, 8]
+        b = list(reversed(a))
+        for _ in range(30):
+            child, cut = prefix_crossover(a, b, rng)
+            assert sorted(child) == sorted(a)
+            assert 1 <= cut < len(a)
+            assert child[:cut] == a[:cut]
+
+    def test_suffix_follows_parent_b_relative_order(self):
+        rng = np.random.default_rng(7)
+        a = [1, 2, 3, 4, 5, 6]
+        b = [6, 4, 2, 5, 3, 1]
+        child, cut = prefix_crossover(a, b, rng)
+        expected_suffix = [g for g in b if g not in set(a[:cut])]
+        assert child[cut:] == expected_suffix
+
+    def test_short_parents(self):
+        rng = np.random.default_rng(0)
+        child, cut = prefix_crossover([1], [1], rng)
+        assert child == [1]
+        assert cut == 1
 
 
 class TestConfig:
@@ -93,6 +120,48 @@ class TestScheduling:
         sched = GeneticOptimizer(seed=0)
         result = run_sim(jobs, sched)
         assert result.extras["generations"] > 0
+
+    def test_prefix_and_legacy_modes_both_deterministic(self):
+        jobs = generate_workload("heterogeneous_mix", 15, seed=2)
+        for cfg in (
+            GeneticConfig(),
+            GeneticConfig(prefix_crossover=False),
+        ):
+            a = run_sim(jobs, GeneticOptimizer(seed=4, config=cfg))
+            b = run_sim(jobs, GeneticOptimizer(seed=4, config=cfg))
+            assert {r.job.job_id: r.start_time for r in a.records} == {
+                r.job.job_id: r.start_time for r in b.records
+            }
+
+    def test_prefix_mode_reports_pack_stats(self):
+        # Zero arrivals -> one planning event, so the cold-pack bound
+        # below is exact (population x (generations + 1) evaluations).
+        jobs = generate_workload(
+            "heterogeneous_mix", 20, seed=1, arrival_mode="zero"
+        )
+        sched = GeneticOptimizer(seed=0)
+        result = run_sim(jobs, sched)
+        assert result.extras["prefix_crossover"] is True
+        stats = result.extras["pack_stats"]
+        assert stats["jobs_packed"] > 0
+        assert stats["incumbents_saved"] > 0
+        # The point of the restructure: children re-pack suffixes, so
+        # total packed jobs undercut one cold full pack per evaluation
+        # (population x (generations + 1) x queue).
+        cfg = sched.config
+        cold = cfg.population * (cfg.generations + 1) * 20
+        assert stats["jobs_packed"] < cold
+
+    def test_legacy_mode_omits_pack_stats(self):
+        jobs = generate_workload("heterogeneous_mix", 10, seed=0)
+        result = run_sim(
+            jobs,
+            GeneticOptimizer(
+                seed=0, config=GeneticConfig(prefix_crossover=False)
+            ),
+        )
+        assert result.extras["prefix_crossover"] is False
+        assert "pack_stats" not in result.extras
 
     def test_comparable_to_annealer_on_static_instance(self):
         from repro.schedulers.optimizer import AnnealingOptimizer

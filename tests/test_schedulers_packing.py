@@ -209,3 +209,124 @@ class TestPackOrder:
     def test_empty_plan(self):
         assert plan_makespan([], 0.0) == 0.0
         assert plan_total_completion([]) == 0.0
+
+
+class TestPackStats:
+    def jobs(self, n=10):
+        return [make_job(i + 1, duration=10.0 * (i + 1), nodes=2)
+                for i in range(n)]
+
+    def test_counters_track_packing_work(self):
+        from repro.schedulers.packing import IncrementalPacker
+
+        packer = IncrementalPacker(now=0.0, free_nodes=8, free_memory_gb=64.0)
+        jobs = self.jobs(10)
+        packer.pack(jobs)
+        assert packer.stats.full_packs == 1
+        assert packer.stats.jobs_packed == 10
+        cand = list(jobs)
+        cand[4], cand[7] = cand[7], cand[4]
+        packer.pack_from(cand, 4)
+        assert packer.stats.suffix_packs == 1
+        assert packer.stats.jobs_packed == 16  # 10 + suffix of 6
+        packer.commit(cand, 4, packer.pack_from(cand, 4))
+        assert packer.stats.commits == 1
+
+    def test_as_dict_round_trips_every_counter(self):
+        from repro.schedulers.packing import PackStats
+
+        stats = PackStats(jobs_packed=3, commits=1)
+        d = stats.as_dict()
+        assert d["jobs_packed"] == 3
+        assert d["commits"] == 1
+        assert set(d) == {
+            "jobs_packed", "jobs_replayed", "full_packs", "suffix_packs",
+            "commits", "incumbents_saved", "incumbents_loaded",
+            "incumbents_evicted",
+        }
+
+
+class TestIncumbentRetention:
+    def packer(self, retain=3):
+        from repro.schedulers.packing import IncrementalPacker
+
+        return IncrementalPacker(
+            now=0.0, free_nodes=8, free_memory_gb=64.0,
+            retain_incumbents=retain,
+        )
+
+    def jobs(self, n=12):
+        return [make_job(i + 1, duration=5.0 * (i + 1), nodes=2)
+                for i in range(n)]
+
+    def test_saved_incumbent_restores_exact_pack_state(self):
+        packer = self.packer()
+        jobs = self.jobs()
+        a = packer.pack(jobs)
+        packer.save_incumbent("a")
+        b_order = list(reversed(jobs))
+        packer.pack(b_order)
+        packer.save_incumbent("b")
+        # Evaluate a child sharing A's prefix up to 6: must equal a
+        # from-scratch pack of the child order.
+        assert packer.load_incumbent("a")
+        child = jobs[:6] + list(reversed(jobs[6:]))
+        got = packer.pack_from(child, 6)
+        expected = pack_order(
+            child, now=0.0, free_nodes=8, free_memory_gb=64.0
+        )
+        assert [(p.job.job_id, p.start) for p in got] == [
+            (p.job.job_id, p.start) for p in expected
+        ]
+        # A's own placements are untouched by B having been packed.
+        assert packer.load_incumbent("a")
+        assert [(p.job.job_id, p.start) for p in packer.pack_from(jobs, 12)] \
+            == [(p.job.job_id, p.start) for p in a]
+
+    def test_fifo_eviction_bounds_memory(self):
+        packer = self.packer(retain=2)
+        jobs = self.jobs(4)
+        for key in ("a", "b", "c"):
+            packer.pack(jobs)
+            packer.save_incumbent(key)
+        assert not packer.load_incumbent("a")  # evicted
+        assert packer.load_incumbent("b")
+        assert packer.load_incumbent("c")
+        assert packer.stats.incumbents_evicted == 1
+
+    def test_retention_disabled_by_default(self):
+        from repro.schedulers.packing import IncrementalPacker
+
+        packer = IncrementalPacker(now=0.0, free_nodes=8, free_memory_gb=64.0)
+        packer.pack(self.jobs(4))
+        packer.save_incumbent("a")
+        assert not packer.load_incumbent("a")
+
+    def test_clear_incumbents(self):
+        packer = self.packer()
+        packer.pack(self.jobs(4))
+        packer.save_incumbent("a")
+        packer.clear_incumbents()
+        assert not packer.load_incumbent("a")
+
+    def test_commit_shares_prefix_snapshots(self):
+        # A child committed at cut c keeps the parent's checkpoints at
+        # or below c by reference — the O(k) snapshot reuse the GA
+        # depends on for bounded memory.
+        from repro.schedulers.packing import IncrementalPacker
+
+        packer = IncrementalPacker(
+            now=0.0, free_nodes=8, free_memory_gb=64.0,
+            checkpoint_stride=2, retain_incumbents=4,
+        )
+        jobs = self.jobs(8)
+        packer.pack(jobs)
+        parent_snapshots = {
+            pos: snap for pos, snap in packer._inc.checkpoints.items()
+        }
+        child = jobs[:4] + list(reversed(jobs[4:]))
+        placements = packer.pack_from(child, 4)
+        packer.commit(child, 4, placements)
+        for pos, snap in packer._inc.checkpoints.items():
+            assert pos <= 4
+            assert snap is parent_snapshots[pos]

@@ -61,3 +61,31 @@ class TestRegistry:
             "claude-3.7-sim", seed=1, hallucination_rate=0.0
         )
         assert agent.backend.profile.hallucination_rate == 0.0
+
+
+class TestAnnealWindowOption:
+    def test_factory_builds_windowed_config(self):
+        from repro.schedulers.registry import create_scheduler
+
+        sched = create_scheduler("ortools_like", seed=0, anneal_window=8)
+        assert sched.config.window == 8
+
+    def test_window_overlays_explicit_config(self):
+        from repro.schedulers.optimizer import AnnealingConfig
+        from repro.schedulers.registry import create_scheduler
+
+        sched = create_scheduler(
+            "ortools_like",
+            seed=0,
+            anneal_window=16,
+            config=AnnealingConfig(late_pivot_p=0.5),
+        )
+        assert sched.config.window == 16
+        assert sched.config.late_pivot_p == 0.5
+
+    def test_supports_anneal_window(self):
+        from repro.schedulers.registry import supports_anneal_window
+
+        assert supports_anneal_window("ortools_like")
+        assert not supports_anneal_window("fcfs")
+        assert not supports_anneal_window("genetic")
