@@ -26,6 +26,13 @@ of the three hot paths this project optimizes:
   rack topology next to its undisrupted twin: what domain-event
   handling (block kills, per-domain capacity views, spread gating)
   costs per decision, plus the cell's blast radius.
+* **scaling** — the flat-array engine's replay cost at 10k/50k/100k
+  jobs (µs per arrival/completion event under a steady-state FCFS
+  workload, where bookkeeping — not decisions — dominates), the
+  SoA-vs-object engine speedup on a backlogged cell, and month-long
+  SWF-round-tripped trace replays (``workloads/swf.py`` → simulate) as
+  routine cells. ``growth_ratio`` (µs/event at N ÷ at the smallest
+  cell) is the flat-to-sublinear scaling acceptance number.
 
 Regression tracking: :func:`compare_to_baseline` diffs a fresh report
 against a committed baseline (e.g. ``BENCH_PR2.json``) and returns the
@@ -40,7 +47,7 @@ import platform
 import sys
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.experiments.runner import run_matrix, run_single
 from repro.schedulers.optimizer import AnnealingConfig, AnnealingOptimizer
@@ -55,6 +62,7 @@ _LOWER_IS_BETTER_SUFFIXES = (
     "_us",
     "_s",
     "us_per_decision",
+    "us_per_event",
     "_ratio",
     "_per_move",
 )
@@ -71,14 +79,15 @@ _DIMENSIONLESS_SUFFIXES = ("speedup", "_ratio", "_per_move")
 class BenchConfig:
     """Knobs for one bench invocation.
 
-    ``quick`` is the CI profile (< 1 min) and what the committed
-    ``BENCH_*.json`` baselines are generated from, so CI comparisons
-    are like-for-like; metric keys are qualified by their cell sizes,
-    so comparing reports of different profiles silently checks only
-    the cells both actually measured. The quick profile keeps the two
-    acceptance-tracking cells at full size: the 100-job replanning
-    event and the 2000-job snapshot-cost growth ratio (the latter
-    costs well under a second).
+    ``quick`` is the CI profile (< 1 min). The committed
+    ``BENCH_*.json`` baseline is generated from the *full* profile
+    (since PR 6, so it records the 50k/100k scaling cells and the
+    month-long SWF replay); metric keys are qualified by their cell
+    sizes, so comparing reports of different profiles silently checks
+    only the cells both actually measured — quick CI runs gate on the
+    shared full-size acceptance cells: the 100-job replanning event,
+    the 2000-job snapshot-cost growth ratio, and the 2000-job
+    engine-comparison cell.
     """
 
     replan_sizes: tuple[int, ...] = (25, 50, 100)
@@ -125,6 +134,32 @@ class BenchConfig:
     #: iteration-budget scaling instead of the windowing trade-off.
     planning_quality_cells: tuple[int, ...] = (100,)
     planning_running: int = 12
+    #: Engine-scaling cells: job counts replayed end-to-end on the
+    #: flat-array engine under a steady-state scenario (bounded queue
+    #: depth — the regime where per-event bookkeeping, the quantity
+    #: this section tracks, dominates; a saturated backlog would
+    #: instead measure the O(queue) view tuple every facade must
+    #: materialize).
+    scaling_scenario: str = "homogeneous_short"
+    scaling_sizes: tuple[int, ...] = (10_000, 50_000, 100_000)
+    scaling_scheduler: str = "fcfs"
+    #: Engine-comparison cell: SoA vs object wall on one *backlogged*
+    #: workload. Deliberately not a scaling cell: with a bounded queue
+    #: the engines are within noise of each other (the object loop has
+    #: no O(queue) work to lose), so the speedup there gates nothing.
+    #: A saturated queue is the regime the flat-array core targets —
+    #: cached queue snapshots vs an O(queue) rebuild per decision —
+    #: and yields a stable, structurally-meaningful ratio.
+    engine_compare_scenario: str = "heterogeneous_mix"
+    engine_compare_jobs: int = 2_000
+    #: SWF replay cells: ``(n_jobs, days)`` — the workload's arrivals
+    #: are stretched over *days*, round-tripped through the SWF trace
+    #: format, and replayed. The small cell runs in both profiles (so
+    #: CI compares it against the committed baseline); the month-long
+    #: 40k cell is full-profile-only.
+    swf_replay_cells: tuple[tuple[int, float], ...] = (
+        (2_000, 2.0), (40_000, 30.0),
+    )
     seed: int = 0
 
     @classmethod
@@ -145,6 +180,12 @@ class BenchConfig:
             # the 10k cell is full-profile-only.
             planning_latency_cells=((1000, 80), (5000, 32)),
             planning_quality_cells=(100,),
+            # The 10k scaling cell and the engine-comparison cell are
+            # the PR-6 acceptance-tracking measurements and run in a
+            # few seconds; 50k/100k and the month-long SWF replay are
+            # full-profile-only.
+            scaling_sizes=(10_000,),
+            swf_replay_cells=((2_000, 2.0),),
         )
 
 
@@ -536,51 +577,182 @@ def bench_sweep(cfg: BenchConfig) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# scaling: flat-array engine replay cost at 10k/50k/100k jobs
+# ---------------------------------------------------------------------------
+
+def _timed_replay(cfg: BenchConfig, jobs, engine: str) -> tuple[float, Any]:
+    """Wall-clock one end-to-end replay of *jobs* (construction and
+    workload validation excluded — the section measures the event loop)."""
+    from repro.schedulers.registry import create_scheduler
+    from repro.sim.simulator import HPCSimulator
+
+    sim = HPCSimulator(
+        jobs=list(jobs),
+        scheduler=create_scheduler(cfg.scaling_scheduler, seed=cfg.seed),
+        engine=engine,
+    )
+    t0 = time.perf_counter()
+    result = sim.run()
+    return time.perf_counter() - t0, result
+
+
+def bench_scaling(cfg: BenchConfig) -> dict[str, Any]:
+    """Engine replay cost vs job count, plus month-long SWF replays.
+
+    *cells*: each scaling size replayed once on the flat-array engine
+    under an FCFS steady-state workload; ``us_per_event`` normalizes
+    wall-clock by the 2·n arrival+completion events, and
+    ``growth_ratio`` (vs the smallest cell) is the dimensionless
+    flat-to-sublinear acceptance number. *engine*: one backlogged
+    cell replayed on both engines — ``engine_speedup`` (object ÷ SoA
+    wall) tracks what the flat-array rebuild buys where queue depth
+    makes the layouts diverge. *swf_replay*: the
+    workload's arrivals stretched over N days, round-tripped through
+    ``workloads/swf.py`` in memory, and replayed — the trace-archive
+    path as a routine measurement.
+    """
+    import io
+
+    from repro.workloads.swf import jobs_from_swf, jobs_to_swf
+    from repro.workloads.transforms import with_scaled_arrivals
+
+    rows: list[dict[str, Any]] = []
+    base_us: Optional[float] = None
+    for n in cfg.scaling_sizes:
+        jobs = generate_workload(cfg.scaling_scenario, n, seed=cfg.seed)
+        wall, result = _timed_replay(cfg, jobs, "soa")
+        events = 2 * n
+        us = wall / events * 1e6
+        row = {
+            "scenario": cfg.scaling_scenario,
+            "n_jobs": n,
+            "events": events,
+            "decisions": len(result.decisions),
+            "wall_s": round(wall, 3),
+            "us_per_event": round(us, 2),
+        }
+        if base_us is None:
+            base_us = us
+        else:
+            row["growth_ratio"] = round(us / base_us, 3) if base_us else 1.0
+        rows.append(row)
+
+    n0 = cfg.engine_compare_jobs
+    jobs = generate_workload(cfg.engine_compare_scenario, n0, seed=cfg.seed)
+    soa_wall, _ = _timed_replay(cfg, jobs, "soa")
+    object_wall, _ = _timed_replay(cfg, jobs, "object")
+    engine_row = {
+        "scenario": cfg.engine_compare_scenario,
+        "n_jobs": n0,
+        "soa_wall_s": round(soa_wall, 3),
+        "object_wall_s": round(object_wall, 3),
+        "engine_speedup": round(object_wall / soa_wall, 2)
+        if soa_wall > 0
+        else float("inf"),
+    }
+
+    swf_rows: list[dict[str, Any]] = []
+    for n, days in cfg.swf_replay_cells:
+        jobs = generate_workload(cfg.scaling_scenario, n, seed=cfg.seed)
+        span = jobs[-1].submit_time
+        if span > 0:
+            jobs = with_scaled_arrivals(jobs, days * 86_400.0 / span)
+        buf = io.StringIO()
+        jobs_to_swf(jobs, buf, header=f"bench scaling cell {n}@{days:g}d")
+        buf.seek(0)
+        jobs = jobs_from_swf(buf)
+        wall, result = _timed_replay(cfg, jobs, "soa")
+        events = 2 * len(jobs)
+        swf_rows.append(
+            {
+                "scenario": cfg.scaling_scenario,
+                "n_jobs": len(jobs),
+                "days": days,
+                "events": events,
+                "decisions": len(result.decisions),
+                "wall_s": round(wall, 3),
+                "us_per_event": round(wall / events * 1e6, 2),
+            }
+        )
+    return {"cells": rows, "engine": engine_row, "swf_replay": swf_rows}
+
+
+# ---------------------------------------------------------------------------
 # report assembly / comparison
 # ---------------------------------------------------------------------------
+
+#: Every bench section, in run order, with its progress note.
+BENCH_SECTIONS: dict[str, tuple[Callable[[BenchConfig], Any], str]] = {
+    "replan_event": (
+        bench_replan_event, "incremental vs naive replanning",
+    ),
+    "planning": (
+        bench_planning, "windowed vs full annealing at equal budget",
+    ),
+    "decision_snapshot": (
+        bench_decision_snapshot, "per-decision cost vs completed jobs",
+    ),
+    "per_decision": (
+        bench_per_decision, "end-to-end decision latencies",
+    ),
+    "disruption": (
+        bench_disruption, "failure-heavy run vs undisrupted twin",
+    ),
+    "correlated": (
+        bench_correlated, "rack-shock run vs undisrupted twin",
+    ),
+    "scaling": (
+        bench_scaling, "flat-array engine replay cost vs job count",
+    ),
+    "sweep": (
+        bench_sweep, "serial mini-matrix wall clock",
+    ),
+}
+
 
 def run_bench(
     cfg: Optional[BenchConfig] = None,
     *,
     quick: bool = False,
+    sections: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> dict[str, Any]:
-    """Run every bench section and assemble the JSON report."""
+    """Run bench sections and assemble the JSON report.
+
+    *sections* restricts the run to a named subset (in canonical
+    order) — the blocking CI scaling smoke runs only ``scaling``
+    instead of paying for the full advisory suite. ``None`` runs
+    everything. Unknown names raise ``ValueError``.
+    """
     cfg = cfg or (BenchConfig.quick() if quick else BenchConfig())
+    if sections is None:
+        chosen = set(BENCH_SECTIONS)
+    else:
+        chosen = set(sections)
+        unknown = chosen - set(BENCH_SECTIONS)
+        if unknown:
+            raise ValueError(
+                f"unknown bench section(s) {sorted(unknown)}; choose "
+                f"from {sorted(BENCH_SECTIONS)}"
+            )
 
     def note(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
-    note("replan_event: incremental vs naive replanning …")
-    replan = bench_replan_event(cfg)
-    note("planning: windowed vs full annealing at equal budget …")
-    planning = bench_planning(cfg)
-    note("decision_snapshot: per-decision cost vs completed jobs …")
-    snapshot = bench_decision_snapshot(cfg)
-    note("per_decision: end-to-end decision latencies …")
-    per_decision = bench_per_decision(cfg)
-    note("disruption: failure-heavy run vs undisrupted twin …")
-    disruption = bench_disruption(cfg)
-    note("correlated: rack-shock run vs undisrupted twin …")
-    correlated = bench_correlated(cfg)
-    note("sweep: serial mini-matrix wall clock …")
-    sweep = bench_sweep(cfg)
+    metrics: dict[str, Any] = {}
+    for name, (fn, description) in BENCH_SECTIONS.items():
+        if name not in chosen:
+            continue
+        note(f"{name}: {description} …")
+        metrics[name] = fn(cfg)
 
     return {
         "schema": SCHEMA_VERSION,
         "quick": quick,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "metrics": {
-            "replan_event": replan,
-            "planning": planning,
-            "decision_snapshot": snapshot,
-            "per_decision": per_decision,
-            "disruption": disruption,
-            "correlated": correlated,
-            "sweep": sweep,
-        },
+        "metrics": metrics,
     }
 
 
@@ -651,6 +823,24 @@ def _flatten(report: dict[str, Any]) -> dict[str, float]:
         ):
             if key in corr:
                 flat[f"{base}.{key}"] = float(corr[key])
+    scaling = metrics.get("scaling", {})
+    for row in scaling.get("cells", ()):
+        base = f"scaling[{row['scenario']}/{row['n_jobs']}]"
+        for key in ("us_per_event", "growth_ratio"):
+            if key in row:
+                flat[f"{base}.{key}"] = float(row[key])
+    eng = scaling.get("engine", {})
+    if eng:
+        base = f"scaling_engine[{eng.get('scenario')}/{eng.get('n_jobs')}]"
+        for key in ("soa_wall_s", "object_wall_s", "engine_speedup"):
+            if key in eng:
+                flat[f"{base}.{key}"] = float(eng[key])
+    for row in scaling.get("swf_replay", ()):
+        base = (
+            f"scaling_swf[{row['scenario']}/{row['n_jobs']}"
+            f"@{row['days']:g}d]"
+        )
+        flat[f"{base}.us_per_event"] = float(row["us_per_event"])
     sweep = metrics.get("sweep", {})
     if "wall_s" in sweep:
         flat[f"sweep[{sweep.get('cells')}].wall_s"] = float(sweep["wall_s"])
@@ -717,15 +907,18 @@ def render_report(report: dict[str, Any]) -> str:
         f"== bench (schema {report['schema']}, "
         f"{'quick' if report.get('quick') else 'full'}, "
         f"py {report.get('python', '?')})",
-        "",
-        "replanning event (annealer, one decision point):",
-        "  queue   incremental      naive    speedup",
     ]
-    for row in m["replan_event"]:
-        lines.append(
-            f"  {row['queue_size']:>5d}   {row['incremental_ms']:>8.2f}ms"
-            f"   {row['naive_ms']:>8.2f}ms   {row['speedup']:>6.2f}x"
-        )
+    if "replan_event" in m:
+        lines += [
+            "",
+            "replanning event (annealer, one decision point):",
+            "  queue   incremental      naive    speedup",
+        ]
+        for row in m["replan_event"]:
+            lines.append(
+                f"  {row['queue_size']:>5d}   {row['incremental_ms']:>8.2f}ms"
+                f"   {row['naive_ms']:>8.2f}ms   {row['speedup']:>6.2f}x"
+            )
     planning = m.get("planning", {})
     if planning:
         lines += [
@@ -746,24 +939,25 @@ def render_report(report: dict[str, Any]) -> str:
                 f"  quality @ {row['queue_size']} jobs, default budget: "
                 f"windowed/full objective x{row['quality_ratio']:.4f}"
             )
-    snap = m["decision_snapshot"]
-    lines += [
-        "",
-        f"decision snapshots ({snap['n_jobs']} jobs, "
-        f"{snap['decisions']} decisions):",
-        f"  {snap['us_per_decision']:.1f} us/decision overall; "
-        f"first-quartile {snap['first_quartile_us']:.1f} us vs "
-        f"last-quartile {snap['last_quartile_us']:.1f} us "
-        f"(growth x{snap['growth_ratio']:.2f})",
-        "",
-        "end-to-end per-decision latency:",
-    ]
-    for row in m["per_decision"]:
-        lines.append(
-            f"  {row['scenario']}/{row['scheduler']} n={row['n_jobs']}: "
-            f"{row['us_per_decision']:.1f} us/decision "
-            f"({row['decisions']} decisions, {row['wall_s']:.2f}s)"
-        )
+    snap = m.get("decision_snapshot")
+    if snap:
+        lines += [
+            "",
+            f"decision snapshots ({snap['n_jobs']} jobs, "
+            f"{snap['decisions']} decisions):",
+            f"  {snap['us_per_decision']:.1f} us/decision overall; "
+            f"first-quartile {snap['first_quartile_us']:.1f} us vs "
+            f"last-quartile {snap['last_quartile_us']:.1f} us "
+            f"(growth x{snap['growth_ratio']:.2f})",
+        ]
+    if "per_decision" in m:
+        lines += ["", "end-to-end per-decision latency:"]
+        for row in m["per_decision"]:
+            lines.append(
+                f"  {row['scenario']}/{row['scheduler']} n={row['n_jobs']}: "
+                f"{row['us_per_decision']:.1f} us/decision "
+                f"({row['decisions']} decisions, {row['wall_s']:.2f}s)"
+            )
     dis = m.get("disruption")
     if dis:
         lines += [
@@ -786,11 +980,43 @@ def render_report(report: dict[str, Any]) -> str:
             f"correlated {corr['correlated_us_per_decision']:.1f} "
             f"us/decision (overhead x{corr['overhead_ratio']:.2f})",
         ]
-    sweep = m["sweep"]
-    lines += [
-        "",
-        f"serial sweep: {sweep['cells']} cells in {sweep['wall_s']:.2f}s",
-    ]
+    scaling = m.get("scaling")
+    if scaling:
+        lines += [
+            "",
+            "engine scaling (flat-array replay, us per event):",
+            "   jobs      wall   us/event     growth",
+        ]
+        for row in scaling.get("cells", ()):
+            growth = (
+                f"  x{row['growth_ratio']:.2f}"
+                if "growth_ratio" in row
+                else "   base"
+            )
+            lines.append(
+                f"  {row['n_jobs']:>6d} {row['wall_s']:>8.2f}s"
+                f" {row['us_per_event']:>8.1f}us  {growth}"
+            )
+        eng = scaling.get("engine")
+        if eng:
+            lines.append(
+                f"  engine @ {eng['scenario']}/{eng['n_jobs']}: object "
+                f"{eng['object_wall_s']:.2f}s vs soa "
+                f"{eng['soa_wall_s']:.2f}s "
+                f"(x{eng['engine_speedup']:.2f})"
+            )
+        for row in scaling.get("swf_replay", ()):
+            lines.append(
+                f"  swf replay {row['n_jobs']} jobs over "
+                f"{row['days']:g} days: {row['wall_s']:.2f}s "
+                f"({row['us_per_event']:.1f} us/event)"
+            )
+    sweep = m.get("sweep")
+    if sweep:
+        lines += [
+            "",
+            f"serial sweep: {sweep['cells']} cells in {sweep['wall_s']:.2f}s",
+        ]
     return "\n".join(lines)
 
 

@@ -43,6 +43,20 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine",
+        choices=["soa", "object"],
+        default="soa",
+        help=(
+            "simulator execution mode: the flat-array core (soa, "
+            "default) or the object-graph reference loop — the engines "
+            "are digest-pinned byte-identical, so this never changes "
+            "results, only speed"
+        ),
+    )
+
+
 def _add_disruption_args(p: argparse.ArgumentParser) -> None:
     """Disruption/recovery flags shared by ``run`` and ``matrix``."""
     g = p.add_argument_group("disruptions")
@@ -321,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard cap on scheduler queries (default: 200·n_jobs + 1000)",
     )
     _add_anneal_window(pr)
+    _add_engine(pr)
     _add_common(pr)
     _add_disruption_args(pr)
 
@@ -372,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrival-mode", choices=["scenario", "zero"], default="scenario"
     )
     _add_anneal_window(pm)
+    _add_engine(pm)
     _add_disruption_args(pm)
 
     ps = sub.add_parser(
@@ -421,6 +437,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "compare only dimensionless metrics (speedups and ratios) "
             "vs --baseline — robust to CI runner hardware changes"
+        ),
+    )
+    pb.add_argument(
+        "--sections",
+        nargs="+",
+        metavar="SECTION",
+        default=None,
+        help=(
+            "run only these bench sections (e.g. 'scaling'); default: "
+            "all of them"
+        ),
+    )
+    pb.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "exit non-zero when --baseline comparison finds "
+            "regressions (the blocking CI gate; without it timing "
+            "stays advisory)"
         ),
     )
 
@@ -563,6 +598,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 checkpoint_interval=args.checkpoint_interval,
                 topology=topology,
                 anneal_window=args.anneal_window,
+                engine=args.engine,
                 workers=args.workers,
                 store=store,
                 resume=args.resume,
@@ -615,10 +651,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         from repro.experiments import bench
 
-        report_dict = bench.run_bench(
-            quick=args.quick,
-            progress=lambda msg: print(f"... {msg}", file=sys.stderr),
-        )
+        try:
+            report_dict = bench.run_bench(
+                quick=args.quick,
+                sections=args.sections,
+                progress=lambda msg: print(f"... {msg}", file=sys.stderr),
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(bench.render_report(report_dict))
         if args.json:
             bench.write_report(report_dict, args.json)
@@ -633,15 +674,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             gha = bool(os.environ.get("GITHUB_ACTIONS"))
             if regressions:
+                severity = "error" if args.strict else "warning"
                 print(
                     f"\n{len(regressions)} metric(s) regressed "
                     f">{args.threshold * 100:.0f}% vs {args.baseline}:"
                 )
                 for reg in regressions:
                     line = reg.describe()
-                    print(f"  WARNING: {line}")
+                    print(f"  {severity.upper()}: {line}")
                     if gha:
-                        print(f"::warning title=bench regression::{line}")
+                        print(
+                            f"::{severity} title=bench regression::{line}"
+                        )
+                if args.strict:
+                    return 1
             else:
                 print(
                     f"\nno regressions >{args.threshold * 100:.0f}% "
@@ -680,6 +726,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             restart_policy=restart_policy,
             checkpoint_interval=args.checkpoint_interval,
             anneal_window=args.anneal_window,
+            engine=args.engine,
         )
         base = run_single(
             args.scenario,

@@ -63,6 +63,11 @@ class MatrixCell:
     checkpoint_interval: Optional[float] = None
     topology: Optional[ClusterTopology] = None
     anneal_window: Optional[int] = None
+    #: Simulator execution mode ("soa" flat-array core / "object"
+    #: reference loop). Deliberately excluded from :attr:`key` — the
+    #: engines are digest-pinned byte-identical, so swapping them can
+    #: never fork an experiment's identity.
+    engine: str = "soa"
 
     @property
     def scheduler_label(self) -> str:
@@ -106,6 +111,7 @@ def expand_cells(
     checkpoint_interval: Optional[float] = None,
     topology: Optional[ClusterTopology] = None,
     anneal_window: Optional[int] = None,
+    engine: str = "soa",
 ) -> list[MatrixCell]:
     """Enumerate the full matrix in canonical (deterministic) order.
 
@@ -119,7 +125,7 @@ def expand_cells(
         MatrixCell(
             scenario, n_jobs, scheduler, wseed, sseed, arrival_mode,
             disruptions, restart_policy, checkpoint_interval, topology,
-            anneal_window,
+            anneal_window, engine,
         )
         for scenario in scenarios
         for n_jobs in sizes
@@ -151,6 +157,7 @@ def _execute_cell(cell: MatrixCell) -> ExperimentRun:
         checkpoint_interval=cell.checkpoint_interval,
         topology=cell.topology,
         anneal_window=cell.anneal_window,
+        engine=cell.engine,
     )
 
 
@@ -249,6 +256,7 @@ def run_matrix_parallel(
     checkpoint_interval: Optional[float] = None,
     topology: Optional[ClusterTopology] = None,
     anneal_window: Optional[int] = None,
+    engine: str = "soa",
     workers: Optional[int] = None,
     store: Optional[Union[RunStore, str, Path]] = None,
     resume: bool = False,
@@ -285,6 +293,7 @@ def run_matrix_parallel(
         checkpoint_interval=checkpoint_interval,
         topology=topology,
         anneal_window=anneal_window,
+        engine=engine,
     )
     return run_cells(
         cells,

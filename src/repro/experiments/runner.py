@@ -151,6 +151,7 @@ def run_single(
     checkpoint_interval: Optional[float] = None,
     anneal_window: Optional[int] = None,
     verify: bool = True,
+    engine: str = "soa",
 ) -> ExperimentRun:
     """Simulate one scenario instance under one scheduler.
 
@@ -188,6 +189,11 @@ def run_single(
         :class:`~repro.sim.simulator.HPCSimulator`).
     verify:
         Re-verify the capacity invariant on the finished schedule.
+    engine:
+        Simulator execution mode (``"soa"`` flat-array core or
+        ``"object"`` reference loop). The engines are digest-pinned
+        byte-identical, so this is deliberately NOT part of the cell
+        identity — swapping engines can never fork an experiment.
     """
     if jobs is None:
         job_list = generate_workload(
@@ -234,6 +240,7 @@ def run_single(
         disruptions=trace,
         restart_policy=restart_policy,
         checkpoint_interval=checkpoint_interval,
+        engine=engine,
     )
     result = sim.run()
     if verify:

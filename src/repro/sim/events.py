@@ -15,7 +15,9 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
+
+import numpy as np
 
 
 class EventKind(enum.IntEnum):
@@ -124,3 +126,166 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+class ArrayCalendar:
+    """Array-backed event calendar for the structure-of-arrays engine.
+
+    Ordering contract is identical to :class:`EventQueue` — events pop
+    by ``(time, kind, seq)`` with ``seq`` the global insertion order —
+    but the representation avoids per-event object churn entirely:
+
+    * The **static lane** holds every event known before the run starts
+      (arrivals, failures/repairs, drains). It is built once from the
+      exact push sequence the object engine uses, sorted into flat
+      preallocated numpy arrays, and consumed by advancing a cursor —
+      zero allocation per pop, O(n log n) once instead of O(n log n)
+      heap churn spread over the run.
+    * The **dynamic lane** receives events discovered mid-run (job
+      completions). It is a primitive-tuple min-heap — no ``Event``
+      objects — whose sequence numbers continue after the static
+      lane's, so cross-lane ties replay the object engine's insertion
+      order exactly.
+
+    Pops return plain ``(time, kind_value, payload)`` triples.
+    """
+
+    __slots__ = (
+        "_times",
+        "_kinds",
+        "_payloads",
+        "_seqs",
+        "_cursor",
+        "_n_static",
+        "_heap",
+        "_next_seq",
+        "_sealed",
+        "_pending",
+        "_head",
+    )
+
+    def __init__(self) -> None:
+        self._pending: list[tuple[float, int, int]] = []
+        self._sealed = False
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._cursor = 0
+        self._n_static = 0
+        self._next_seq = 0
+        #: Cached (time, kind, seq) of the static head as plain Python
+        #: scalars — peek and pop both need it, so converting numpy
+        #: scalars once per cursor position (not per call) keeps the
+        #: per-event constant factor below the object queue's.
+        self._head: Optional[tuple[float, int, int]] = None
+
+    @staticmethod
+    def _check_time(time: float) -> None:
+        if not (time >= 0.0 and time == time):
+            raise ValueError(
+                f"event time must be finite and >= 0: {time!r}"
+            )
+
+    def add_static(self, time: float, kind: EventKind, payload: int) -> None:
+        """Append one pre-run event. Call order defines the sequence
+        numbers (the tie-break of last resort), exactly like pushing
+        into an :class:`EventQueue`."""
+        if self._sealed:
+            raise RuntimeError("calendar already sealed")
+        self._check_time(time)
+        self._pending.append((float(time), int(kind), int(payload)))
+
+    def seal(self) -> None:
+        """Freeze the static lane: sort it into flat arrays. Dynamic
+        pushes are accepted before and after sealing; static adds only
+        before."""
+        if self._sealed:
+            raise RuntimeError("calendar already sealed")
+        self._sealed = True
+        n = len(self._pending)
+        self._n_static = n
+        self._next_seq = n
+        times = np.empty(n, dtype=np.float64)
+        kinds = np.empty(n, dtype=np.int64)
+        payloads = np.empty(n, dtype=np.int64)
+        for i, (t, k, p) in enumerate(self._pending):
+            times[i] = t
+            kinds[i] = k
+            payloads[i] = p
+        self._pending = []
+        # Stable sort by (time, kind); seq (the original index) breaks
+        # the remaining ties by construction of lexsort's stability.
+        order = np.lexsort((kinds, times))
+        self._times = times[order]
+        self._kinds = kinds[order]
+        # Payloads are consumed one scalar at a time in the hot loop —
+        # a plain list hands back ready-made Python ints.
+        self._payloads = payloads[order].tolist()
+        self._seqs = order.astype(np.int64)
+
+    def push(self, time: float, kind: EventKind, payload: int) -> None:
+        """Insert a dynamic (mid-run) event."""
+        if not self._sealed:
+            raise RuntimeError("seal() the static lane before pushing")
+        self._check_time(time)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._heap, (float(time), int(kind), seq, int(payload)))
+
+    def _static_key(self) -> Optional[tuple[float, int, int]]:
+        head = self._head
+        if head is None:
+            i = self._cursor
+            if i >= self._n_static:
+                return None
+            head = self._head = (
+                float(self._times[i]),
+                int(self._kinds[i]),
+                int(self._seqs[i]),
+            )
+        return head
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` if empty."""
+        s = self._static_key()
+        if self._heap:
+            d = self._heap[0]
+            if s is None or (d[0], d[1], d[2]) < s:
+                return d[0]
+        if s is None:
+            return None
+        return s[0]
+
+    def pop(self) -> tuple[float, int, int]:
+        """Remove and return the earliest ``(time, kind, payload)``.
+
+        Raises ``IndexError`` if the calendar is empty.
+        """
+        s = self._static_key()
+        if self._heap:
+            d = self._heap[0]
+            if s is None or (d[0], d[1], d[2]) < s:
+                heapq.heappop(self._heap)
+                return (d[0], d[1], d[3])
+        if s is None:
+            raise IndexError("pop from an empty calendar")
+        i = self._cursor
+        self._cursor = i + 1
+        self._head = None
+        return (s[0], s[1], self._payloads[i])
+
+    def pop_until(self, time: float) -> Iterator[tuple[float, int, int]]:
+        """Yield every event with ``event time <= time``, in order.
+
+        A generator rather than a list: the hot loop consumes events
+        one at a time and most steps pop only one or two.
+        """
+        while True:
+            t = self.peek_time()
+            if t is None or t > time:
+                return
+            yield self.pop()
+
+    def __len__(self) -> int:
+        return (self._n_static - self._cursor) + len(self._heap)
+
+    def __bool__(self) -> bool:
+        return self._cursor < self._n_static or bool(self._heap)

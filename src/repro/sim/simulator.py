@@ -433,9 +433,19 @@ class HPCSimulator:
     disruptions: Optional[DisruptionTrace] = None
     restart_policy: str = "resubmit"
     checkpoint_interval: Optional[float] = None
+    #: Execution mode, NOT part of an experiment's identity: ``"soa"``
+    #: (default) runs the structure-of-arrays core in
+    #: :mod:`repro.sim.engine`; ``"object"`` runs the original
+    #: object-graph loop kept below as the reference implementation.
+    #: The two are pinned byte-identical by the regression suite.
+    engine: str = "soa"
 
     def __post_init__(self) -> None:
         self.restart_policy = normalize_restart_policy(self.restart_policy)
+        if self.engine not in ("soa", "object"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose 'soa' or 'object'"
+            )
         if self.checkpoint_interval is not None:
             if self.checkpoint_interval <= 0:
                 raise ValueError(
@@ -481,6 +491,21 @@ class HPCSimulator:
     # -- main loop -------------------------------------------------------
     def run(self) -> ScheduleResult:
         """Execute the full simulation and return the schedule."""
+        if self.engine == "soa":
+            from repro.sim.engine import run_soa
+
+            return run_soa(self)
+        return self._run_object()
+
+    def _run_object(self) -> ScheduleResult:
+        """The original object-graph event loop.
+
+        Retained as the reference implementation the flat-array core
+        (:func:`repro.sim.engine.run_soa`) is digest-pinned against;
+        every semantic subtlety below (push order, stale-completion
+        checks, budget accounting, lazy compaction) is contractual for
+        both engines.
+        """
         checker = ConstraintChecker()
         events = EventQueue()
         jobs_by_id = {j.job_id: j for j in self.jobs}
@@ -1149,6 +1174,7 @@ def simulate(
     disruptions: Optional[DisruptionTrace] = None,
     restart_policy: str = "resubmit",
     checkpoint_interval: Optional[float] = None,
+    engine: str = "soa",
 ) -> ScheduleResult:
     """One-call convenience wrapper around :class:`HPCSimulator`."""
     sim = HPCSimulator(
@@ -1161,5 +1187,6 @@ def simulate(
         disruptions=disruptions,
         restart_policy=restart_policy,
         checkpoint_interval=checkpoint_interval,
+        engine=engine,
     )
     return sim.run()

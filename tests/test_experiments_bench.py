@@ -258,7 +258,8 @@ class TestCliWiring:
         current["python"] = "3.x"
 
         monkeypatch.setattr(
-            bench, "run_bench", lambda quick, progress=None: current
+            bench, "run_bench",
+            lambda quick, sections=None, progress=None: current,
         )
         baseline_path = tmp_path / "BENCH_base.json"
         base = synthetic_report()

@@ -1,12 +1,22 @@
-"""Unit tests for the event queue."""
+"""Unit tests for the event queue and the array-backed calendar."""
 
 import pytest
 
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import ArrayCalendar, Event, EventKind, EventQueue
 
 
 def ev(time, kind=EventKind.ARRIVAL, job_id=1):
     return Event(time=time, kind=kind, job_id=job_id)
+
+
+def sealed(*events):
+    """An ArrayCalendar with *events* = (time, kind, payload) triples
+    loaded into the static lane, sealed and ready to pop."""
+    cal = ArrayCalendar()
+    for time, kind, payload in events:
+        cal.add_static(time, kind, payload)
+    cal.seal()
+    return cal
 
 
 class TestOrdering:
@@ -143,3 +153,158 @@ class TestValidation:
     def test_nan_time_rejected(self):
         with pytest.raises(ValueError):
             EventQueue().push(ev(float("nan")))
+
+
+class TestArrayCalendarOrdering:
+    """The ArrayCalendar must replay EventQueue's (time, kind, seq)
+    contract exactly — including across its two lanes."""
+
+    def test_pops_in_time_order(self):
+        cal = sealed(
+            (5.0, EventKind.ARRIVAL, 1),
+            (1.0, EventKind.ARRIVAL, 2),
+            (3.0, EventKind.ARRIVAL, 3),
+        )
+        assert [cal.pop()[0] for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_same_instant_kind_order_is_pinned(self):
+        """The full same-timestamp kind ordering, pushed scrambled —
+        the exact contract TestOrdering pins for EventQueue."""
+        scrambled = [
+            EventKind.ARRIVAL,
+            EventKind.DRAIN_START,
+            EventKind.NODE_REPAIR,
+            EventKind.DRAIN_ANNOUNCE,
+            EventKind.COMPLETION,
+            EventKind.NODE_FAILURE,
+            EventKind.DRAIN_END,
+        ]
+        cal = sealed(*[(5.0, kind, i) for i, kind in enumerate(scrambled)])
+        popped = [cal.pop()[1] for _ in range(len(scrambled))]
+        assert popped == [
+            int(EventKind.COMPLETION),
+            int(EventKind.NODE_REPAIR),
+            int(EventKind.DRAIN_END),
+            int(EventKind.NODE_FAILURE),
+            int(EventKind.DRAIN_START),
+            int(EventKind.DRAIN_ANNOUNCE),
+            int(EventKind.ARRIVAL),
+        ]
+
+    def test_full_ties_break_by_insertion_order(self):
+        cal = sealed(
+            *[(1.0, EventKind.ARRIVAL, payload) for payload in (7, 8, 9)]
+        )
+        assert [cal.pop()[2] for _ in range(3)] == [7, 8, 9]
+
+    def test_dynamic_lane_merges_by_time_and_kind(self):
+        """A mid-run completion pushed *after* sealing still pops
+        before a same-instant static arrival (kind order), and before
+        any later static event (time order)."""
+        cal = sealed(
+            (2.0, EventKind.ARRIVAL, 1),
+            (4.0, EventKind.ARRIVAL, 2),
+        )
+        assert cal.pop()[2] == 1
+        cal.push(4.0, EventKind.COMPLETION, 99)
+        assert [cal.pop()[1:] for _ in range(2)] == [
+            (int(EventKind.COMPLETION), 99),
+            (int(EventKind.ARRIVAL), 2),
+        ]
+
+    def test_dynamic_seqs_continue_after_static(self):
+        """Cross-lane full ties (same time *and* kind) replay global
+        insertion order: static first, then pushes in push order."""
+        cal = sealed((3.0, EventKind.COMPLETION, 1))
+        cal.push(3.0, EventKind.COMPLETION, 2)
+        cal.push(3.0, EventKind.COMPLETION, 3)
+        assert [cal.pop()[2] for _ in range(3)] == [1, 2, 3]
+
+    def test_matches_event_queue_on_scrambled_schedule(self):
+        """Differential check: an arbitrary static schedule pops in
+        exactly the order EventQueue pops the same pushes."""
+        events = [
+            (4.0, EventKind.ARRIVAL, 1),
+            (2.0, EventKind.NODE_FAILURE, 0),
+            (2.0, EventKind.ARRIVAL, 2),
+            (2.0, EventKind.NODE_REPAIR, 0),
+            (0.0, EventKind.ARRIVAL, 3),
+            (4.0, EventKind.COMPLETION, 1),
+            (2.0, EventKind.ARRIVAL, 4),
+        ]
+        q = EventQueue()
+        for time, kind, payload in events:
+            q.push(Event(time=time, kind=kind, job_id=payload))
+        cal = sealed(*events)
+        expected = [
+            (e.time, int(e.kind), e.job_id)
+            for e in (q.pop() for _ in range(len(events)))
+        ]
+        assert [cal.pop() for _ in range(len(events))] == expected
+
+
+class TestArrayCalendarOperations:
+    def test_peek_time_does_not_remove(self):
+        cal = sealed((3.5, EventKind.ARRIVAL, 1))
+        assert cal.peek_time() == 3.5
+        assert len(cal) == 1
+
+    def test_empty_calendar(self):
+        cal = sealed()
+        assert not cal and len(cal) == 0
+        assert cal.peek_time() is None
+        with pytest.raises(IndexError):
+            cal.pop()
+
+    def test_pop_until_inclusive(self):
+        cal = sealed(
+            *[(t, EventKind.ARRIVAL, i) for i, t in enumerate([1.0, 2.0, 3.0, 4.0])]
+        )
+        popped = list(cal.pop_until(3.0))
+        assert [time for time, _, _ in popped] == [1.0, 2.0, 3.0]
+        assert len(cal) == 1
+
+    def test_pop_until_empty_result(self):
+        cal = sealed((10.0, EventKind.ARRIVAL, 1))
+        assert list(cal.pop_until(5.0)) == []
+        assert len(cal) == 1
+
+    def test_len_and_bool_span_both_lanes(self):
+        cal = sealed((1.0, EventKind.ARRIVAL, 1))
+        cal.push(2.0, EventKind.COMPLETION, 1)
+        assert cal and len(cal) == 2
+        cal.pop(), cal.pop()
+        assert not cal and len(cal) == 0
+
+
+class TestArrayCalendarLifecycle:
+    def test_add_static_after_seal_rejected(self):
+        cal = sealed()
+        with pytest.raises(RuntimeError):
+            cal.add_static(1.0, EventKind.ARRIVAL, 1)
+
+    def test_push_before_seal_rejected(self):
+        cal = ArrayCalendar()
+        with pytest.raises(RuntimeError):
+            cal.push(1.0, EventKind.COMPLETION, 1)
+
+    def test_double_seal_rejected(self):
+        cal = sealed()
+        with pytest.raises(RuntimeError):
+            cal.seal()
+
+    def test_negative_time_rejected(self):
+        cal = ArrayCalendar()
+        with pytest.raises(ValueError):
+            cal.add_static(-1.0, EventKind.ARRIVAL, 1)
+        cal.seal()
+        with pytest.raises(ValueError):
+            cal.push(-1.0, EventKind.COMPLETION, 1)
+
+    def test_nan_time_rejected(self):
+        cal = ArrayCalendar()
+        with pytest.raises(ValueError):
+            cal.add_static(float("nan"), EventKind.ARRIVAL, 1)
+        cal.seal()
+        with pytest.raises(ValueError):
+            cal.push(float("nan"), EventKind.COMPLETION, 1)

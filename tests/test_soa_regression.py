@@ -1,0 +1,254 @@
+"""Pinning tests for the structure-of-arrays simulator core (PR 6).
+
+1. **Engine byte-identity**: ``engine="soa"`` (the default) must replay
+   the object-graph loop bit for bit — records, decisions, preemptions,
+   extras, and metric floats — across the scheduler comparison set and
+   every disruption regime (node failures, correlated rack shocks,
+   drains, checkpoint/migrate restart policies, walltime enforcement,
+   dependency DAGs, windowed planning).
+2. **Pinned digests**: a seeded cell matrix hashes to digests generated
+   by the object engine at the moment the SoA core landed; both engines
+   must keep producing them, so drift in *either* is caught even after
+   one of them changes.
+3. **Parallel identity**: a serial SoA sweep and a 2-worker SoA sweep
+   of the same cells digest identically (the satellite CI smoke runs
+   the same check via the CLI).
+4. **Engine plumbing**: the engine flag is validated, reaches the
+   matrix engine, and is deliberately *not* part of the cell identity.
+"""
+
+import pytest
+
+from repro.experiments.parallel import expand_cells, run_cells
+from repro.experiments.runner import run_single
+from repro.schedulers.registry import create_scheduler
+from repro.sim.disruptions import DisruptionSpec
+from repro.sim.simulator import HPCSimulator, SimulationError, simulate
+from repro.sim.topology import ClusterTopology
+from repro.workloads.dags import layered_dag_workload
+from repro.workloads.generator import generate_workload
+
+from tests.test_windowed_regression import run_digest
+
+SPEC = DisruptionSpec(
+    mtbf=40_000.0,
+    mttr=4_000.0,
+    seed=7,
+    drain_every=120_000.0,
+    drain_nodes=24,
+    drain_duration=10_000.0,
+    drain_lead=5_000.0,
+)
+CORRELATED = DisruptionSpec(
+    mtbf=60_000.0, mttr=3_000.0, rack_mtbf=200_000.0, seed=11
+)
+TOPOLOGY = ClusterTopology(n_nodes=256, rack_size=16, racks_per_switch=4)
+
+#: (scenario, n_jobs, scheduler, extra run_single kwargs) — one cell
+#: per behavioural regime the engines must agree on.
+IDENTITY_CELLS = [
+    pytest.param("heterogeneous_mix", 120, "fcfs", {}, id="fcfs"),
+    pytest.param("heterogeneous_mix", 120, "sjf", {}, id="sjf"),
+    pytest.param(
+        "heterogeneous_mix", 100, "ortools_like", {}, id="optimizer"
+    ),
+    pytest.param(
+        "heterogeneous_mix", 100, "claude-3.7-sim", {}, id="llm-claude"
+    ),
+    pytest.param(
+        "heterogeneous_mix", 100, "o4-mini-sim", {}, id="llm-o4"
+    ),
+    pytest.param(
+        "heterogeneous_mix",
+        80,
+        "ortools_like",
+        {"anneal_window": 8},
+        id="windowed",
+    ),
+    pytest.param(
+        "adversarial",
+        120,
+        "claude-3.7-sim",
+        {"enforce_walltime": True},
+        id="walltime-kills",
+    ),
+    pytest.param(
+        "checkpoint_stress",
+        120,
+        "fcfs",
+        {
+            "disruptions": SPEC,
+            "restart_policy": "checkpoint",
+            "checkpoint_interval": 900.0,
+        },
+        id="disrupted-checkpoint",
+    ),
+    pytest.param(
+        "rack_storm",
+        120,
+        "sjf",
+        {
+            "disruptions": CORRELATED,
+            "topology": TOPOLOGY,
+            "restart_policy": "preempt_migrate",
+            "checkpoint_interval": 1200.0,
+        },
+        id="correlated-migrate",
+    ),
+    pytest.param(
+        "drain_window",
+        100,
+        "ortools_like",
+        {"disruptions": SPEC, "enforce_walltime": True},
+        id="drained-walltime",
+    ),
+]
+
+
+class TestEngineByteIdentity:
+    @pytest.mark.parametrize("scenario,n,scheduler,kw", IDENTITY_CELLS)
+    def test_engines_identical(self, scenario, n, scheduler, kw):
+        runs = {
+            engine: run_single(
+                scenario,
+                n,
+                scheduler,
+                workload_seed=3,
+                scheduler_seed=5,
+                engine=engine,
+                **kw,
+            )
+            for engine in ("object", "soa")
+        }
+        a, b = runs["object"].result, runs["soa"].result
+        assert a.records == b.records
+        assert a.decisions == b.decisions
+        assert a.preemptions == b.preemptions
+        assert a.extras == b.extras
+        assert run_digest(runs["object"]) == run_digest(runs["soa"])
+
+    def test_dependency_dag_identical(self):
+        jobs = layered_dag_workload(24, seed=2, n_layers=4)
+        results = {
+            engine: simulate(
+                list(jobs), create_scheduler("fcfs"), engine=engine
+            )
+            for engine in ("object", "soa")
+        }
+        a, b = results["object"], results["soa"]
+        assert a.records == b.records
+        assert a.decisions == b.decisions
+
+    def test_decision_budget_identical(self):
+        """Both engines enforce ``max_decisions`` at the same count."""
+        jobs = generate_workload("homogeneous_short", 8, seed=0)
+        for engine in ("object", "soa"):
+            sim = HPCSimulator(
+                jobs=list(jobs),
+                scheduler=create_scheduler("fcfs"),
+                max_decisions=3,
+                engine=engine,
+            )
+            with pytest.raises(SimulationError, match="budget exhausted \\(3\\)"):
+                sim.run()
+
+
+#: SHA-256 digests generated by the *object* engine at the commit that
+#: introduced the SoA core; ``run_single(scenario, n, scheduler,
+#: workload_seed=ws, scheduler_seed=ss, **kw)`` on the default engine
+#: must keep reproducing them byte for byte.
+PINNED_CELLS = [
+    pytest.param(
+        "heterogeneous_mix", 60, "fcfs", 0, 0, {},
+        "71af564cdf0415f5399d3ab87e34a55bed38b36bd15d017530cf30208d37646d",
+        id="fcfs",
+    ),
+    pytest.param(
+        "heterogeneous_mix", 60, "sjf", 1, 0, {},
+        "d0439bb4de84d38535f2759ab92939a76a77f7076020a847a3461b7efb4439ff",
+        id="sjf",
+    ),
+    pytest.param(
+        "bursty_idle", 50, "ortools_like", 0, 2, {},
+        "a6b69ec95af0b74869e7a48bfedd4b825fbae1367e22d0ef6ed7326194414648",
+        id="optimizer",
+    ),
+    pytest.param(
+        "adversarial", 50, "claude-3.7-sim", 3, 0,
+        {"enforce_walltime": True},
+        "9218b4604e54df45bfddf9d33ff845ae53cc3e27de15e776ac6f4129620942c4",
+        id="llm-walltime",
+    ),
+    pytest.param(
+        "checkpoint_stress", 80, "fcfs", 0, 0,
+        {
+            "disruptions": SPEC,
+            "restart_policy": "checkpoint",
+            "checkpoint_interval": 900.0,
+        },
+        "0850137d018b910d6c402b5ab0bcc0e592323821687cd78c6ba520898d50aa1a",
+        id="disrupted",
+    ),
+    pytest.param(
+        "rack_storm", 80, "sjf", 2, 0,
+        {
+            "disruptions": CORRELATED,
+            "topology": TOPOLOGY,
+            "restart_policy": "preempt_migrate",
+            "checkpoint_interval": 1200.0,
+        },
+        "e35d3d707fa9dc5e6c20db72977ed8e33bba312b1b43e5db1ad4e4d8ca77d406",
+        id="correlated",
+    ),
+]
+
+
+class TestPinnedDigests:
+    @pytest.mark.parametrize(
+        "scenario,n,scheduler,ws,ss,kw,expected", PINNED_CELLS
+    )
+    def test_digest_pinned(self, scenario, n, scheduler, ws, ss, kw, expected):
+        run = run_single(
+            scenario, n, scheduler, workload_seed=ws, scheduler_seed=ss, **kw
+        )
+        assert run_digest(run) == expected
+
+
+class TestParallelIdentity:
+    def test_serial_vs_two_workers(self):
+        cells = expand_cells(
+            ["heterogeneous_mix"],
+            [40],
+            ["fcfs", "sjf"],
+            workload_seeds=(0, 1),
+            engine="soa",
+        )
+        serial = run_cells(cells, workers=1)
+        parallel = run_cells(cells, workers=2)
+        assert [run_digest(r) for r in serial] == [
+            run_digest(r) for r in parallel
+        ]
+
+
+class TestEnginePlumbing:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            HPCSimulator(
+                jobs=[], scheduler=create_scheduler("fcfs"), engine="bogus"
+            )
+
+    def test_engine_not_part_of_cell_identity(self):
+        """Swapping digest-identical engines must never fork an
+        experiment: the cell key ignores the engine field."""
+        soa = expand_cells(["heterogeneous_mix"], [30], ["fcfs"])
+        obj = expand_cells(
+            ["heterogeneous_mix"], [30], ["fcfs"], engine="object"
+        )
+        assert soa[0].key == obj[0].key
+        assert soa[0].engine == "soa" and obj[0].engine == "object"
+
+    def test_simulate_forwards_engine(self):
+        jobs = generate_workload("homogeneous_short", 30, seed=0)
+        a = simulate(list(jobs), create_scheduler("fcfs"), engine="object")
+        b = simulate(list(jobs), create_scheduler("fcfs"))  # soa default
+        assert a.records == b.records
