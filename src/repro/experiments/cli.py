@@ -11,6 +11,7 @@ ad-hoc single simulations, and list registered scenarios/schedulers::
     repro-sched matrix --scenarios adversarial resource_sparse --sizes 20 40 \
         --workers 4 --out runs.jsonl --resume
     repro-sched report --store runs.jsonl
+    repro-sched store doctor runs.jsonl
     repro-sched list
 """
 
@@ -23,7 +24,7 @@ from typing import Optional, Sequence
 from repro.experiments import figures, report
 from repro.experiments.parallel import expand_cells, run_matrix_parallel
 from repro.experiments.runner import DEFAULT_SCHEDULERS, run_single
-from repro.experiments.store import RunStore
+from repro.experiments.store import FailedCell, RunStore
 from repro.metrics.normalize import normalize_to_baseline
 from repro.schedulers.registry import available_schedulers
 from repro.sim.disruptions import (
@@ -182,6 +183,21 @@ def _check_anneal_window(args) -> None:
     reject it anyway, but deep inside a worker process)."""
     if args.anneal_window is not None and args.anneal_window < 2:
         raise DisruptionArgsError("--anneal-window must be at least 2")
+
+
+def _check_fault_args(args) -> None:
+    """Friendly validation for the fault-tolerance flags."""
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        raise DisruptionArgsError("--cell-timeout must be positive")
+    if args.max_retries < 0:
+        raise DisruptionArgsError("--max-retries must be >= 0")
+    if args.retry_backoff is not None and args.retry_backoff < 0:
+        raise DisruptionArgsError("--retry-backoff must be >= 0")
+    if args.cell_timeout is not None and args.workers == 1:
+        raise DisruptionArgsError(
+            "--cell-timeout needs --workers >= 2: an inline sweep "
+            "cannot preempt its own process"
+        )
 
 
 def _build_disruption_spec(args) -> Optional[DisruptionSpec]:
@@ -386,6 +402,52 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument(
         "--arrival-mode", choices=["scenario", "zero"], default="scenario"
     )
+    f = pm.add_argument_group("fault tolerance")
+    f.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock budget: a cell still running after "
+            "this long has its (hung) worker killed and is retried "
+            "against a rebuilt pool (default: no timeout; needs "
+            "--workers >= 2 — an inline sweep cannot preempt itself)"
+        ),
+    )
+    f.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "retries per cell beyond its first attempt before the "
+            "--on-cell-failure policy applies; crashes, timeouts and "
+            "dead workers all count (default 2). Distinct from the "
+            "simulator's in-run scheduler-rejection retries."
+        ),
+    )
+    f.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "base of the deterministic exponential backoff between "
+            "retries of one cell (default 0.1)"
+        ),
+    )
+    f.add_argument(
+        "--on-cell-failure",
+        choices=["abort", "quarantine"],
+        default="abort",
+        help=(
+            "what to do with a cell that exhausts its retries: abort "
+            "the sweep (default, exit 1) or quarantine it as a "
+            "structured record in <out>.failures, finish every other "
+            "cell, and exit 3 with a failure summary"
+        ),
+    )
     _add_anneal_window(pm)
     _add_engine(pm)
     _add_disruption_args(pm)
@@ -394,6 +456,30 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render normalized metrics from a JSONL artifact store"
     )
     ps.add_argument("--store", required=True, help="path written by matrix --out")
+
+    pst = sub.add_parser(
+        "store",
+        help="artifact-store maintenance (doctor: salvage a corrupted file)",
+    )
+    store_sub = pst.add_subparsers(dest="store_command", required=True)
+    pdoc = store_sub.add_parser(
+        "doctor",
+        help="salvage every parseable line from a corrupted store",
+        description=(
+            "Repair a JSONL artifact store in place: every parseable "
+            "line is kept byte-for-byte, every unparseable line moves "
+            "to <store>.quarantine prefixed with its original line "
+            "number, and the report says which cells were lost (they "
+            "simply re-run under matrix --resume). The rewrite is "
+            "atomic; a healthy store is left untouched."
+        ),
+    )
+    pdoc.add_argument("path", help="store file written by matrix --out")
+    pdoc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be quarantined without writing anything",
+    )
 
     pb = sub.add_parser(
         "bench",
@@ -564,6 +650,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "matrix":
+        from repro.experiments.parallel import (
+            DEFAULT_RETRY_BACKOFF_S,
+            CellFailedError,
+        )
+
         if args.resume and not args.out:
             print("error: --resume requires --out", file=sys.stderr)
             return 2
@@ -572,6 +663,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             disruption_spec = _build_disruption_spec(args)
             topology = _build_topology(args)
             _check_anneal_window(args)
+            _check_fault_args(args)
         except DisruptionArgsError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -585,6 +677,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 flush=True,
             )
 
+        failures: list[FailedCell] = []
         try:
             runs = run_matrix_parallel(
                 args.scenarios,
@@ -603,19 +696,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 store=store,
                 resume=args.resume,
                 progress=progress,
+                cell_timeout=args.cell_timeout,
+                max_retries=args.max_retries,
+                retry_backoff_s=(
+                    DEFAULT_RETRY_BACKOFF_S
+                    if args.retry_backoff is None
+                    else args.retry_backoff
+                ),
+                on_cell_failure=args.on_cell_failure,
+                failures=failures,
             )
-        except KeyboardInterrupt:
+        except KeyboardInterrupt as exc:
+            detail = f" ({exc})" if str(exc) else ""
             if store is not None:
                 print(
-                    f"\ninterrupted — {len(store.completed_keys())} cells "
-                    f"persisted in {args.out}; re-run with --resume to "
-                    "finish the rest",
+                    f"\ninterrupted{detail} — "
+                    f"{len(store.completed_keys())} cells persisted in "
+                    f"{args.out}; re-run with --resume to finish the "
+                    "rest",
                     file=sys.stderr,
                 )
             else:
-                print("\ninterrupted (no --out store; nothing persisted)",
-                      file=sys.stderr)
+                print(
+                    f"\ninterrupted{detail} (no --out store; nothing "
+                    "persisted)",
+                    file=sys.stderr,
+                )
             return 130
+        except CellFailedError as exc:
+            print(f"\nerror: sweep aborted — {exc}", file=sys.stderr)
+            if store is not None:
+                print(
+                    f"{len(store.completed_keys())} cells persisted in "
+                    f"{args.out}; fix the failure and re-run with "
+                    "--resume (or use --on-cell-failure quarantine to "
+                    "finish around it)",
+                    file=sys.stderr,
+                )
+            return 1
         cells = expand_cells(
             args.scenarios,
             args.sizes,
@@ -634,16 +752,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{args.out}, {len(runs)} executed")
         # Report this invocation's matrix: fresh results win, persisted
         # runs fill in resumed cells, and unrelated sweeps sharing the
-        # store file stay out of the output.
+        # store file stay out of the output. Tolerate corrupt lines
+        # here — the sweep itself succeeded; damage on disk is surfaced
+        # loudly by --resume and repaired by `store doctor`.
         source = list(runs)
         if store is not None:
             fresh = {r.key for r in runs}
             wanted = {c.key for c in cells}
             source += [
-                s for s in store.load()
+                s for s in store.load(on_corrupt="quarantine")
                 if s.key in wanted and s.key not in fresh
             ]
-        print(report.render_matrix_blocks(figures.matrix_blocks(source)))
+        if source:
+            print(report.render_matrix_blocks(figures.matrix_blocks(source)))
+        if failures:
+            print(
+                f"\n{len(failures)} cell(s) quarantined after exhausting "
+                "retries (every other cell completed):",
+                file=sys.stderr,
+            )
+            for fc in failures:
+                print(
+                    f"  {fc.label}: {fc.kind} x{fc.attempts} — "
+                    f"{fc.error_type}: {fc.message}",
+                    file=sys.stderr,
+                )
+            if store is not None:
+                print(
+                    f"details in {store.path}.failures; the quarantined "
+                    "cells are not persisted and will re-run under "
+                    "--resume",
+                    file=sys.stderr,
+                )
+            return 3
         return 0
 
     if args.command == "bench":
@@ -694,6 +835,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"vs {args.baseline}"
                 )
         return 0
+
+    if args.command == "store":
+        # Only one store subcommand today; argparse enforces it.
+        assert args.store_command == "doctor"
+        store = RunStore(args.path)
+        if not store.path.exists():
+            print(f"error: no store at {args.path}", file=sys.stderr)
+            return 2
+        doc = store.doctor(dry_run=args.dry_run)
+        print(doc.summary())
+        return 0 if doc.clean else 1
 
     if args.command == "report":
         stored = RunStore(args.store).load()

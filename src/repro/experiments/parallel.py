@@ -15,23 +15,50 @@ arrival_mode) identity, never on worker scheduling, so
 :func:`run_matrix_parallel` returns results bit-identical to the serial
 :func:`~repro.experiments.runner.run_matrix` for the same seeds, in the
 same deterministic cell order.
+
+The engine is also fault-tolerant (the ScalienDB discipline: crashes
+are an input, not an exception): a crashed worker rebuilds the pool
+and retries only the unfinished cells, a hung worker is killed by a
+per-cell watchdog (``cell_timeout``), and a cell that keeps failing is
+quarantined as a structured :class:`~repro.experiments.store.FailedCell`
+record while the rest of the sweep completes. Because cells are pure
+functions of their key, none of this can change a persisted byte — a
+sweep that survived crashes is ``diff``-identical to one that never
+saw them, which is exactly what the chaos suite
+(:mod:`repro.experiments.faultinject`) asserts.
 """
 
 from __future__ import annotations
 
 import os
 import signal
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+import traceback
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from repro.experiments import faultinject
 from repro.experiments.runner import (
     DEFAULT_SCHEDULERS,
     ExperimentRun,
     run_single,
 )
-from repro.experiments.store import CellKey, RunStore, cell_key
+from repro.experiments.store import (
+    CellKey,
+    FailedCell,
+    FailureSidecar,
+    RunStore,
+    cell_key,
+    cell_key_str,
+)
 from repro.schedulers.registry import supports_anneal_window
 from repro.sim.disruptions import DisruptionSpec, disruption_signature
 from repro.sim.topology import ClusterTopology, topology_signature
@@ -39,6 +66,31 @@ from repro.workloads.generator import ArrivalMode
 
 #: Progress callback: (cell, completed runs so far, total cells).
 ProgressFn = Callable[["MatrixCell", int, int], None]
+
+#: Default per-cell retry budget: a cell may fail this many times
+#: beyond its first try before it is quarantined/aborted. Transient
+#: worker deaths (OOM kills, pool crashes) almost always succeed on
+#: the rebuild, so 2 keeps sweeps alive without masking real bugs.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the deterministic exponential backoff between retries of
+#: the same cell (seconds): attempt k waits base * 2**(k-1).
+DEFAULT_RETRY_BACKOFF_S = 0.1
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a sweep, after the salvage pass: the message
+    carries how many cells completed, were salvaged, and were
+    cancelled. Subclasses ``KeyboardInterrupt`` so existing handlers
+    (the CLI's 130-exit path) keep working unchanged."""
+
+
+class CellFailedError(RuntimeError):
+    """A cell exhausted its retry budget under the default
+    ``on_cell_failure="abort"`` policy. Carries the failing cell's
+    label, the attempt count, the original error (also chained as
+    ``__cause__``), and — appended by the salvage pass — the
+    completed/salvaged/cancelled accounting of the aborted sweep."""
 
 
 @dataclass(frozen=True)
@@ -143,8 +195,16 @@ def _worker_init() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
-def _execute_cell(cell: MatrixCell) -> ExperimentRun:
-    """Worker entry point: simulate one cell (top-level for pickling)."""
+def _execute_cell(cell: MatrixCell, attempt: int = 1) -> ExperimentRun:
+    """Worker entry point: simulate one cell (top-level for pickling).
+
+    *attempt* (1-based) exists solely for the chaos harness: the
+    parent tracks how many times a cell has been tried so injected
+    faults fire on deterministic attempts regardless of which worker
+    process gets the cell. The simulation itself never sees it — a
+    retried cell reproduces its first-try result bit for bit.
+    """
+    faultinject.on_cell_attempt(cell_key_str(cell.key), attempt)
     return run_single(
         cell.scenario,
         cell.n_jobs,
@@ -171,6 +231,45 @@ def resolve_workers(workers: Optional[int]) -> int:
     return max(1, int(workers))
 
 
+def _traceback_tail(exc: BaseException, limit: int = 15) -> str:
+    """Last *limit* lines of the exception's formatted traceback —
+    workers chain the remote traceback onto the exception, so this
+    captures where the cell actually died, compact enough for one
+    sidecar line."""
+    lines = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).strip().splitlines()
+    return "\n".join(lines[-limit:])
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool *now*: SIGTERM (escalating to SIGKILL)
+    every worker, then shut the executor down without waiting.
+
+    This is the watchdog's only option — ``ProcessPoolExecutor``
+    cannot cancel a running task, so a hung worker is reclaimed by
+    killing the whole pool and rebuilding it. Reaches into the private
+    ``_processes`` map deliberately; the fallback (shutdown without
+    waiting) still detaches us if that attribute ever moves.
+    """
+    procs = getattr(pool, "_processes", None)
+    procs = list(procs.values()) if procs else []
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead races
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - SIGTERM almost always lands
+            try:
+                proc.kill()
+                proc.join(timeout=5.0)
+            except Exception:
+                pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_cells(
     cells: Sequence[MatrixCell],
     *,
@@ -178,14 +277,52 @@ def run_cells(
     store: Optional[Union[RunStore, str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    on_cell_failure: str = "abort",
+    failures: Optional[list[FailedCell]] = None,
 ) -> list[ExperimentRun]:
-    """Execute *cells* across a process pool, streaming to *store*.
+    """Execute *cells* across a fault-tolerant process pool.
 
-    Returns the runs for the cells actually executed, in the order the
+    Returns the runs for the cells that completed, in the order the
     cells were given (completion order never leaks into results). With
     ``resume=True`` and a store, cells whose key the store already
     holds are skipped — read them back with ``store.load()``.
+
+    Fault tolerance (all of it inert on a healthy sweep — with no
+    failures the engine behaves byte-identically to a plain pool):
+
+    * A cell that raises is retried up to *max_retries* times with
+      deterministic exponential backoff (``retry_backoff_s *
+      2**(attempt-1)``). Because cells are pure functions of their
+      key, a retry that succeeds is bit-identical to what the first
+      try would have produced.
+    * A dead worker (OOM kill, segfault — surfacing as
+      ``BrokenExecutor``) breaks the whole pool: the pool is rebuilt
+      and every unfinished in-flight cell is resubmitted. Cells whose
+      futures carried the break are charged a retry attempt;
+      bystanders re-ride free.
+    * With *cell_timeout*, a watchdog kills the pool when any cell
+      exceeds its wall-clock budget, charges the overdue cell(s) a
+      timeout attempt, and reschedules the rest — a hung worker costs
+      one rebuild, not the sweep. (Inline/1-worker sweeps cannot
+      preempt themselves; the timeout is ignored there.)
+    * A cell that exhausts its budget is handled per
+      *on_cell_failure*: ``"abort"`` (default) raises
+      :class:`CellFailedError` after salvaging finished cells;
+      ``"quarantine"`` records a :class:`FailedCell` — appended to
+      *failures* and, when a store is given, to its
+      ``<store>.failures`` sidecar — and the sweep continues.
+
+    Ctrl-C still cancels queued cells, lets in-flight cells finish and
+    persists them; the raised :class:`SweepInterrupted` reports the
+    completed/salvaged/cancelled split.
     """
+    if on_cell_failure not in ("abort", "quarantine"):
+        raise ValueError(
+            f"unknown on_cell_failure policy: {on_cell_failure!r}"
+        )
     if isinstance(store, (str, Path)):
         store = RunStore(store)
     if resume and store is None:
@@ -198,6 +335,9 @@ def run_cells(
 
     n_workers = resolve_workers(workers)
     results: dict[int, ExperimentRun] = {}
+    failed: dict[int, FailedCell] = {}
+    attempts = [0] * len(pending)
+    sidecar = FailureSidecar.for_store(store) if store is not None else None
 
     def record(index: int, run: ExperimentRun) -> None:
         results[index] = run
@@ -206,41 +346,262 @@ def run_cells(
         if progress is not None:
             progress(pending[index], len(results), len(pending))
 
+    def quarantine(index: int, exc: BaseException, kind: str) -> None:
+        cell = pending[index]
+        failed[index] = FailedCell(
+            key=cell.key,
+            kind=kind,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback_tail=_traceback_tail(exc),
+            attempts=attempts[index],
+        )
+        if failures is not None:
+            failures.append(failed[index])
+        if sidecar is not None:
+            sidecar.append(failed[index])
+
+    def exhaust(index: int, exc: BaseException, kind: str) -> None:
+        """A cell is out of retries: quarantine it or abort the sweep."""
+        if on_cell_failure == "quarantine":
+            quarantine(index, exc, kind)
+            return
+        raise CellFailedError(
+            f"cell {cell_key_str(pending[index].key)} failed "
+            f"({kind}) after {attempts[index]} attempt(s): {exc}"
+        ) from exc
+
     if n_workers == 1 or len(pending) <= 1:
-        # Inline path: no pool overhead, trivially deterministic —
-        # also what a 1-core container degrades to.
-        for i, cell in enumerate(pending):
-            record(i, _execute_cell(cell))
+        _run_inline(
+            pending, attempts, results, failed, record, exhaust,
+            max_retries=max_retries, retry_backoff_s=retry_backoff_s,
+        )
     else:
-        with ProcessPoolExecutor(
-            max_workers=n_workers, initializer=_worker_init
-        ) as pool:
-            futures = {
-                pool.submit(_execute_cell, cell): i
-                for i, cell in enumerate(pending)
-            }
+        _run_pooled(
+            pending, attempts, results, failed, record, exhaust,
+            n_workers=n_workers, cell_timeout=cell_timeout,
+            max_retries=max_retries, retry_backoff_s=retry_backoff_s,
+        )
+    return [results[i] for i in range(len(pending)) if i in results]
+
+
+def _run_inline(
+    pending, attempts, results, failed, record, exhaust,
+    *, max_retries: int, retry_backoff_s: float,
+) -> None:
+    """Serial execution with the same retry/quarantine semantics as
+    the pool (minus the watchdog — a process cannot preempt itself)."""
+    for i, cell in enumerate(pending):
+        while True:
+            attempts[i] += 1
             try:
-                for future in as_completed(futures):
-                    record(futures[future], future.result())
-            except BaseException:
-                # Ctrl-C or one failing cell: drop the queued cells,
-                # let the <= n_workers in-flight cells finish, and
-                # persist those (plus any finished-but-unrecorded
-                # ones) — a resumed sweep then loses nothing that
-                # actually completed. Without this, the pool's exit
-                # handler would silently run the *entire* remaining
-                # queue while discarding every result.
-                pool.shutdown(wait=True, cancel_futures=True)
-                for future, i in futures.items():
-                    if (
-                        i not in results
-                        and future.done()
-                        and not future.cancelled()
-                        and future.exception() is None
-                    ):
-                        record(i, future.result())
-                raise
-    return [results[i] for i in range(len(pending))]
+                run = _execute_cell(cell, attempts[i])
+            except KeyboardInterrupt as exc:
+                cancelled = len(pending) - len(results) - len(failed)
+                raise SweepInterrupted(
+                    f"sweep interrupted: {len(results)} cell(s) "
+                    f"completed (0 salvaged), {cancelled} cancelled"
+                ) from exc
+            except Exception as exc:
+                if attempts[i] <= max_retries:
+                    if retry_backoff_s > 0:
+                        time.sleep(
+                            retry_backoff_s * 2 ** (attempts[i] - 1)
+                        )
+                    continue
+                exhaust(i, exc, "exception")
+                break
+            else:
+                record(i, run)
+                break
+
+
+def _run_pooled(
+    pending, attempts, results, failed, record, exhaust,
+    *, n_workers: int, cell_timeout: Optional[float],
+    max_retries: int, retry_backoff_s: float,
+) -> None:
+    """The fault-tolerant pool loop: windowed submission (at most
+    *n_workers* cells in flight, so a submitted cell starts
+    immediately and its deadline clock is honest), a watchdog over
+    per-cell deadlines, and pool rebuilds on breakage."""
+    queue: deque[int] = deque(range(len(pending)))
+    ready_at: dict[int, float] = {}
+    inflight: dict = {}
+    deadlines: dict = {}
+    pool = ProcessPoolExecutor(
+        max_workers=n_workers, initializer=_worker_init
+    )
+    consecutive_submit_breaks = 0
+
+    def requeue(index: int, charged: bool) -> None:
+        """Schedule a retry; charged failures back off, bystanders of
+        a pool rebuild go back to the front at once, uncharged."""
+        if charged:
+            if retry_backoff_s > 0:
+                ready_at[index] = time.monotonic() + (
+                    retry_backoff_s * 2 ** (attempts[index] - 1)
+                )
+            queue.append(index)
+        else:
+            attempts[index] -= 1
+            queue.appendleft(index)
+
+    def retry_or_exhaust(index: int, exc: BaseException, kind: str) -> None:
+        if attempts[index] <= max_retries:
+            requeue(index, charged=True)
+        else:
+            exhaust(index, exc, kind)
+
+    def drain_and_rebuild() -> None:
+        """Kill the (broken/hung) pool, keep any finished results,
+        resubmit the rest uncharged, and stand up a fresh pool."""
+        nonlocal pool
+        _kill_pool(pool)
+        for fut, i in list(inflight.items()):
+            if fut.done() and not fut.cancelled() and fut.exception() is None:
+                record(i, fut.result())
+            else:
+                requeue(i, charged=False)
+        inflight.clear()
+        deadlines.clear()
+        pool = ProcessPoolExecutor(
+            max_workers=n_workers, initializer=_worker_init
+        )
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            # Fill free slots with ready cells (FIFO; backoff delays
+            # only the head so retry order stays deterministic).
+            while (
+                queue
+                and len(inflight) < n_workers
+                and ready_at.get(queue[0], 0.0) <= now
+            ):
+                i = queue.popleft()
+                att = attempts[i] + 1
+                try:
+                    fut = pool.submit(_execute_cell, pending[i], att)
+                except BrokenExecutor:
+                    # The pool died between batches; put the cell back
+                    # (uncharged — it never ran) and rebuild.
+                    queue.appendleft(i)
+                    consecutive_submit_breaks += 1
+                    if consecutive_submit_breaks > 3:
+                        raise RuntimeError(
+                            "process pool keeps breaking before any "
+                            "cell can start; giving up"
+                        )
+                    drain_and_rebuild()
+                    break
+                consecutive_submit_breaks = 0
+                attempts[i] = att
+                inflight[fut] = i
+                if cell_timeout is not None:
+                    deadlines[fut] = now + cell_timeout
+
+            if not inflight:
+                # Everything runnable is backing off; sleep until the
+                # head of the queue is ready.
+                time.sleep(
+                    max(0.0, ready_at.get(queue[0], 0.0) - time.monotonic())
+                )
+                continue
+
+            # Wake for the first completion, the nearest watchdog
+            # deadline, or the next backoff expiry — whichever first.
+            wakes = []
+            if deadlines:
+                wakes.append(min(deadlines.values()))
+            if queue and len(inflight) < n_workers:
+                wakes.append(ready_at.get(queue[0], 0.0))
+            timeout = (
+                max(0.0, min(wakes) - time.monotonic()) if wakes else None
+            )
+            done, _ = wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+
+            pool_broken = False
+            for fut in done:
+                i = inflight.pop(fut)
+                deadlines.pop(fut, None)
+                exc = fut.exception()
+                if exc is None:
+                    record(i, fut.result())
+                elif isinstance(exc, BrokenExecutor):
+                    # The worker died without a goodbye (OOM kill,
+                    # segfault, os._exit): the pool is toast.
+                    pool_broken = True
+                    retry_or_exhaust(i, exc, "pool-crash")
+                else:
+                    retry_or_exhaust(i, exc, "exception")
+
+            now = time.monotonic()
+            overdue = [f for f, dl in deadlines.items() if dl <= now]
+            if overdue:
+                # Watchdog: a hung worker cannot be cancelled, only
+                # killed with its pool. Charge the overdue cell(s); the
+                # drain below resubmits the innocent rest uncharged.
+                for fut in overdue:
+                    i = inflight.pop(fut)
+                    deadlines.pop(fut)
+                    retry_or_exhaust(
+                        i,
+                        TimeoutError(
+                            f"cell exceeded --cell-timeout "
+                            f"({cell_timeout:g}s); worker killed"
+                        ),
+                        "timeout",
+                    )
+                pool_broken = True
+
+            if pool_broken:
+                drain_and_rebuild()
+
+        pool.shutdown(wait=True)
+    except BaseException as exc:
+        # Ctrl-C or an aborting cell failure: drop the queued cells,
+        # let the <= n_workers in-flight cells finish, and persist
+        # those — a resumed sweep then loses nothing that actually
+        # completed. The salvage pass fires the progress callback with
+        # the same monotone completed/total accounting as the main
+        # loop, and the raised error reports the salvaged/cancelled
+        # split.
+        futs = set(inflight)
+        if futs:
+            grace = None
+            if deadlines:
+                grace = max(
+                    0.0, max(deadlines.values()) - time.monotonic()
+                )
+            wait(futs, timeout=grace)
+        salvaged = 0
+        for fut, i in list(inflight.items()):
+            if (
+                i not in results
+                and fut.done()
+                and not fut.cancelled()
+                and fut.exception() is None
+            ):
+                record(i, fut.result())
+                salvaged += 1
+        _kill_pool(pool)
+        cancelled = len(pending) - len(results) - len(failed)
+        if isinstance(exc, KeyboardInterrupt):
+            raise SweepInterrupted(
+                f"sweep interrupted: {len(results)} cell(s) completed "
+                f"({salvaged} salvaged after interrupt), "
+                f"{cancelled} cancelled"
+            ) from exc
+        if isinstance(exc, CellFailedError):
+            exc.args = (
+                f"{exc.args[0]} [{len(results)} cell(s) completed, "
+                f"{salvaged} salvaged after the failure, "
+                f"{cancelled} cancelled]",
+            )
+        raise
 
 
 def run_matrix_parallel(
@@ -261,6 +622,11 @@ def run_matrix_parallel(
     store: Optional[Union[RunStore, str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    on_cell_failure: str = "abort",
+    failures: Optional[list[FailedCell]] = None,
 ) -> list[ExperimentRun]:
     """Parallel, resumable scenarios × sizes × schedulers × seeds sweep.
 
@@ -280,6 +646,12 @@ def run_matrix_parallel(
     resume:
         Skip cells already persisted in *store*; only the remaining
         cells are executed (and returned).
+    cell_timeout / max_retries / retry_backoff_s / on_cell_failure /
+    failures:
+        Fault-tolerance knobs, forwarded to :func:`run_cells` (per-cell
+        watchdog budget, retry budget and deterministic backoff, and
+        whether an exhausted cell aborts the sweep or is quarantined
+        into *failures* and the store's ``.failures`` sidecar).
     """
     cells = expand_cells(
         scenarios,
@@ -301,4 +673,9 @@ def run_matrix_parallel(
         store=store,
         resume=resume,
         progress=progress,
+        cell_timeout=cell_timeout,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        on_cell_failure=on_cell_failure,
+        failures=failures,
     )

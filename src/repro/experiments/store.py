@@ -26,6 +26,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Optional, Union
 
+from repro.experiments import faultinject
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import ExperimentRun
 
@@ -67,6 +69,13 @@ def cell_key(
     return (scenario, int(n_jobs), scheduler, int(workload_seed),
             int(scheduler_seed), str(arrival_mode), str(disruption),
             str(topology))
+
+
+def cell_key_str(key: CellKey) -> str:
+    """Canonical ``|``-joined form of a cell key — the string the
+    fault-injection harness matches rules against and failure records
+    carry; stable across processes because the key is."""
+    return "|".join(str(part) for part in key)
 
 
 @dataclass(frozen=True)
@@ -231,6 +240,25 @@ class RunStore:
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
+        #: Parsed-file cache: (stat signature, runs, key set). Resume
+        #: scans call ``completed_keys``/``__contains__`` in loops; the
+        #: cache makes those O(1) after one parse instead of re-reading
+        #: the archive per call. Invalidated whenever the file's
+        #: (mtime_ns, size) changes — including writes by other
+        #: processes — and explicitly on our own writes.
+        self._cache: Optional[
+            tuple[tuple[int, int], tuple[StoredRun, ...], frozenset[CellKey]]
+        ] = None
+
+    def _stat_sig(self) -> Optional[tuple[int, int]]:
+        try:
+            st = self.path.stat()
+        except FileNotFoundError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def _invalidate(self) -> None:
+        self._cache = None
 
     # -- writing ---------------------------------------------------------
     def _repair_tail(self) -> None:
@@ -281,10 +309,17 @@ class RunStore:
         stored = run if isinstance(run, StoredRun) else StoredRun.from_run(run)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._repair_tail()
+        # Chaos-harness hook: with a fault plan active this may tear or
+        # garble the line (see faultinject); without one — the
+        # production default — it returns the line verbatim.
+        text, complete = faultinject.mangle_store_line(
+            cell_key_str(stored.key), stored.to_json()
+        )
         with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(stored.to_json() + "\n")
+            fh.write(text + ("\n" if complete else ""))
             fh.flush()
             os.fsync(fh.fileno())
+        self._invalidate()
         return stored
 
     # -- reading ---------------------------------------------------------
@@ -297,7 +332,7 @@ class RunStore:
             if line.strip():
                 yield i, line, i == len(lines) - 1
 
-    def load(self) -> list[StoredRun]:
+    def load(self, on_corrupt: str = "raise") -> list[StoredRun]:
         """All persisted runs, in first-appearance order, with the
         *last* write per cell winning — re-running a sweep into the
         same store (e.g. after a code change) supersedes the old
@@ -305,37 +340,243 @@ class RunStore:
 
         An unparseable final line is dropped only when it also lacks
         its trailing newline — the actual signature of a run killed
-        mid-write (the cell simply re-runs on resume). Anything else
-        (interior corruption, or a complete line a newer code version
-        wrote) raises ``ValueError`` with the parse failure chained.
+        mid-write (the cell simply re-runs on resume). For anything
+        else (interior corruption, or a complete line a newer code
+        version wrote) the *on_corrupt* policy decides:
+
+        * ``"raise"`` (default): ``ValueError`` with the parse failure
+          chained — corruption is loud.
+        * ``"quarantine"``: the bad line is skipped in memory (the
+          file is untouched) and every parseable run is returned, so
+          one corrupt line costs one cell, not the archive. Run
+          :meth:`doctor` to repair the file itself.
         """
+        if on_corrupt not in ("raise", "quarantine"):
+            raise ValueError(f"unknown on_corrupt policy: {on_corrupt!r}")
+        sig = self._stat_sig()
+        if self._cache is not None and self._cache[0] == sig:
+            return list(self._cache[1])
         order: dict[CellKey, int] = {}
         runs: list[StoredRun] = []
+        clean = True
         for lineno, line, is_last in self._iter_lines():
             try:
                 stored = StoredRun.from_json(line)
             except ValueError as exc:
                 if is_last and not line.endswith("\n"):
                     break
+                if on_corrupt == "quarantine":
+                    clean = False
+                    continue
                 raise ValueError(
-                    f"{self.path}:{lineno + 1}: corrupt store line"
+                    f"{self.path}:{lineno + 1}: corrupt store line "
+                    "(run `repro-sched store doctor` to salvage the "
+                    "parseable lines)"
                 ) from exc
             if stored.key in order:
                 runs[order[stored.key]] = stored
             else:
                 order[stored.key] = len(runs)
                 runs.append(stored)
+        if clean and sig is not None:
+            # Only a fully-parsed file is cached: a quarantine-mode
+            # load over a corrupt file must not masquerade as the
+            # strict view on the next (default) call.
+            self._cache = (
+                sig, tuple(runs), frozenset(r.key for r in runs)
+            )
         return runs
+
+    def doctor(self, dry_run: bool = False) -> "DoctorReport":
+        """Salvage a corrupted archive in place.
+
+        Every parseable line is kept **verbatim** (byte-for-byte — the
+        doctor never re-serializes healthy data); every unparseable
+        line moves to ``<path>.quarantine``, prefixed with its original
+        1-based line number, and a :class:`DoctorReport` says what was
+        lost. A parseable final line that lost only its newline gets
+        the newline restored. The rewrite is atomic (temp file +
+        ``os.replace``), so a crash mid-doctor leaves the original
+        archive untouched. With *dry_run* nothing is written.
+        """
+        kept: list[str] = []
+        bad: list[tuple[int, str]] = []
+        for lineno, line, _is_last in self._iter_lines():
+            stripped = line.rstrip("\n")
+            try:
+                StoredRun.from_json(stripped)
+            except ValueError:
+                bad.append((lineno + 1, stripped))
+            else:
+                kept.append(stripped)
+        report = DoctorReport(
+            path=self.path,
+            quarantine_path=self.quarantine_path,
+            n_kept=len(kept),
+            n_quarantined=len(bad),
+            quarantined_lines=tuple(no for no, _ in bad),
+            dry_run=dry_run,
+        )
+        if dry_run or not bad:
+            return report
+        tmp = self.path.with_name(self.path.name + ".doctor.tmp")
+        tmp.write_text(
+            "".join(line + "\n" for line in kept), encoding="utf-8"
+        )
+        with self.quarantine_path.open("a", encoding="utf-8") as fh:
+            for lineno, line in bad:
+                fh.write(f"L{lineno}\t{line}\n")
+        os.replace(tmp, self.path)
+        self._invalidate()
+        return report
+
+    @property
+    def quarantine_path(self) -> Path:
+        """Where :meth:`doctor` moves unparseable lines."""
+        return self.path.with_name(self.path.name + ".quarantine")
 
     def completed_keys(self) -> set[CellKey]:
         """Cell keys already persisted (what ``--resume`` skips)."""
+        sig = self._stat_sig()
+        if self._cache is not None and self._cache[0] == sig:
+            return set(self._cache[2])
         return {run.key for run in self.load()}
 
     def __contains__(self, key: CellKey) -> bool:
-        """Membership convenience; re-parses the file each call — when
-        checking many keys, snapshot :meth:`completed_keys` once."""
+        """Membership convenience; served from the parsed-file cache,
+        so loops over many keys cost one parse, not one per call."""
         return key in self.completed_keys()
 
     def __len__(self) -> int:
-        """Cell count; re-parses the file each call."""
+        """Cell count; served from the parsed-file cache."""
         return len(self.load())
+
+
+@dataclass(frozen=True)
+class DoctorReport:
+    """What :meth:`RunStore.doctor` kept, moved, and would lose."""
+
+    path: Path
+    quarantine_path: Path
+    n_kept: int
+    n_quarantined: int
+    #: Original 1-based line numbers of the quarantined lines.
+    quarantined_lines: tuple[int, ...]
+    dry_run: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return self.n_quarantined == 0
+
+    def summary(self) -> str:
+        if self.clean:
+            return (
+                f"{self.path}: healthy — {self.n_kept} parseable "
+                "line(s), nothing to quarantine"
+            )
+        verb = "would move" if self.dry_run else "moved"
+        lines = ", ".join(str(no) for no in self.quarantined_lines)
+        return (
+            f"{self.path}: salvaged {self.n_kept} line(s); {verb} "
+            f"{self.n_quarantined} unparseable line(s) "
+            f"(line {lines}) to {self.quarantine_path} — those cells "
+            "are lost and will re-run on --resume"
+        )
+
+
+#: Sidecar schema version for FailedCell records.
+FAILURE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """One quarantined sweep cell: identity + why it kept failing.
+
+    Written to the failure sidecar when a cell exhausts its retry
+    budget under ``on_cell_failure="quarantine"`` — the structured
+    record that lets a failed cell be diagnosed and re-run without
+    grepping sweep logs.
+    """
+
+    key: CellKey
+    #: Failure class: "exception" (the cell raised), "timeout" (the
+    #: watchdog killed a hung worker), "pool-crash" (the worker died —
+    #: OOM kill, segfault — and broke the pool).
+    kind: str
+    error_type: str
+    message: str
+    #: Last lines of the traceback (workers ship the remote traceback
+    #: chained onto the exception); enough to diagnose, small enough
+    #: to keep the sidecar line-sized.
+    traceback_tail: str
+    attempts: int
+    schema_version: int = FAILURE_SCHEMA_VERSION
+
+    @property
+    def label(self) -> str:
+        """Short human identity, e.g. ``adversarial/10/fcfs w0 s0``."""
+        sc, n, sched, ws, ss = self.key[:5]
+        return f"{sc}/{n}/{sched} w{ws} s{ss}"
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["key"] = list(self.key)
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "FailedCell":
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed failure line: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("failure line is not a JSON object")
+        try:
+            raw = payload["key"]
+            key = cell_key(*raw[:6], *raw[6:])
+            return cls(
+                key=key,
+                kind=str(payload["kind"]),
+                error_type=str(payload["error_type"]),
+                message=str(payload["message"]),
+                traceback_tail=str(payload["traceback_tail"]),
+                attempts=int(payload["attempts"]),
+                schema_version=int(
+                    payload.get("schema_version", FAILURE_SCHEMA_VERSION)
+                ),
+            )
+        except (KeyError, TypeError, IndexError) as exc:
+            raise ValueError(f"failure line missing field: {exc}") from exc
+
+
+class FailureSidecar:
+    """Append-only JSONL sidecar of :class:`FailedCell` records.
+
+    Lives next to the run store (``<store>.failures``) so a sweep's
+    artifacts — what succeeded and what was given up on — travel as
+    one pair of files.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    @classmethod
+    def for_store(cls, store: "RunStore") -> "FailureSidecar":
+        return cls(store.path.with_name(store.path.name + ".failures"))
+
+    def append(self, failed: FailedCell) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(failed.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> list[FailedCell]:
+        if not self.path.exists():
+            return []
+        records = []
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                if line.strip():
+                    records.append(FailedCell.from_json(line))
+        return records

@@ -302,3 +302,318 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "paired" in out
         assert "makespan" in out
+
+
+class TestFaultToleranceFlags:
+    MATRIX = [
+        "matrix", "--scenarios", "resource_sparse", "--sizes", "6",
+        "--schedulers", "fcfs", "--workers", "1",
+    ]
+
+    def test_fault_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(
+            ["matrix", "--scenarios", "adversarial", "--sizes", "10"]
+        )
+        assert args.cell_timeout is None
+        assert args.max_retries == 2
+        assert args.retry_backoff is None
+        assert args.on_cell_failure == "abort"
+
+    def test_bad_on_cell_failure_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                self.MATRIX + ["--on-cell-failure", "explode"]
+            )
+
+    def test_nonpositive_cell_timeout_is_friendly_error(self, capsys):
+        rc = main(self.MATRIX + ["--workers", "2", "--cell-timeout", "0"])
+        assert rc == 2
+        assert "--cell-timeout" in capsys.readouterr().err
+
+    def test_cell_timeout_requires_pool_workers(self, capsys):
+        rc = main(self.MATRIX + ["--cell-timeout", "5"])
+        assert rc == 2
+        assert "--workers >= 2" in capsys.readouterr().err
+
+    def test_negative_max_retries_is_friendly_error(self, capsys):
+        rc = main(self.MATRIX + ["--max-retries", "-1"])
+        assert rc == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_negative_retry_backoff_is_friendly_error(self, capsys):
+        rc = main(self.MATRIX + ["--retry-backoff", "-0.5"])
+        assert rc == 2
+        assert "--retry-backoff" in capsys.readouterr().err
+
+
+class TestStoreDoctorCommand:
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        rc = main(["store", "doctor", str(tmp_path / "none.jsonl")])
+        assert rc == 2
+        assert "no store" in capsys.readouterr().err
+
+    def test_healthy_store_exits_zero(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.jsonl"
+        assert main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "6",
+            "--schedulers", "fcfs", "--workers", "1",
+            "--out", str(store_path),
+        ]) == 0
+        capsys.readouterr()
+        rc = main(["store", "doctor", str(store_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "healthy" in out
+
+    def test_corrupt_store_dry_run_then_repair(self, tmp_path, capsys):
+        from repro.experiments.store import RunStore
+
+        store_path = tmp_path / "runs.jsonl"
+        assert main([
+            "matrix", "--scenarios", "resource_sparse", "--sizes", "6",
+            "--schedulers", "fcfs", "sjf", "--workers", "1",
+            "--out", str(store_path),
+        ]) == 0
+        with store_path.open("a") as fh:
+            fh.write("garbage line\n")
+        capsys.readouterr()
+
+        rc = main(["store", "doctor", str(store_path), "--dry-run"])
+        assert rc == 1
+        assert "would move" in capsys.readouterr().out
+        # Dry run left the corruption in place.
+        with pytest.raises(ValueError):
+            RunStore(store_path).load()
+
+        rc = main(["store", "doctor", str(store_path)])
+        assert rc == 1
+        assert "moved 1 unparseable line(s)" in capsys.readouterr().out
+        assert len(RunStore(store_path).load()) == 2
+        quarantine = store_path.with_name("runs.jsonl.quarantine")
+        assert quarantine.read_text() == "L3\tgarbage line\n"
+
+        # A second doctor pass finds nothing left to fix.
+        rc = main(["store", "doctor", str(store_path)])
+        assert rc == 0
+
+
+class TestFigureCommands:
+    """fig3–fig8 handlers route args into the right figure builder and
+    renderer. The figure functions themselves are exercised by
+    test_experiments_figures.py; here they are stubbed so each CLI
+    path stays cheap."""
+
+    @pytest.mark.parametrize(
+        "argv, fig_name, render_name",
+        [
+            (["fig3"], "figure3", "render_figure3"),
+            (["fig4", "--sizes", "10", "20"], "figure4", "render_figure4"),
+            (["fig5"], "figure5", "render_overhead_table"),
+            (["fig6", "--sizes", "10"], "figure6", "render_overhead_table"),
+            (["fig7", "--repeats", "2"], "figure7", "render_figure7"),
+            (["fig8", "--trace-seed", "7"], "figure8", "render_figure8"),
+        ],
+    )
+    def test_fig_routes_data_to_renderer(
+        self, monkeypatch, capsys, argv, fig_name, render_name
+    ):
+        from repro.experiments import cli
+
+        sentinel = object()
+        seen = {}
+
+        def fake_fig(**kwargs):
+            seen["fig_kwargs"] = kwargs
+            return sentinel
+
+        def fake_render(data, **kwargs):
+            assert data is sentinel
+            seen["render_kwargs"] = kwargs
+            return f"[{render_name} output]"
+
+        monkeypatch.setattr(cli.figures, fig_name, fake_fig)
+        monkeypatch.setattr(cli.report, render_name, fake_render)
+        assert main(argv) == 0
+        assert f"[{render_name} output]" in capsys.readouterr().out
+        # Every handler forwards the workload seed.
+        assert "workload_seed" in seen["fig_kwargs"] or (
+            "trace_seed" in seen["fig_kwargs"]
+        )
+
+    def test_fig5_and_fig6_label_their_tables(self, monkeypatch, capsys):
+        from repro.experiments import cli
+
+        labels = []
+        monkeypatch.setattr(
+            cli.figures, "figure5", lambda **kw: {"f5": 1}
+        )
+        monkeypatch.setattr(
+            cli.figures, "figure6", lambda **kw: {"f6": 1}
+        )
+        monkeypatch.setattr(
+            cli.report,
+            "render_overhead_table",
+            lambda data, key_label, title: (
+                labels.append((key_label, title)) or "table"
+            ),
+        )
+        assert main(["fig5"]) == 0
+        assert main(["fig6"]) == 0
+        capsys.readouterr()
+        assert labels[0][0] == "scenario"
+        assert "Figure 5" in labels[0][1]
+        assert labels[1][0] == "n_jobs"
+        assert "Figure 6" in labels[1][1]
+
+
+class TestDisruptionSpecFlags:
+    """_build_disruption_spec folds every override flag into the spec."""
+
+    def _spec(self, extra):
+        from repro.experiments.cli import _build_disruption_spec
+
+        args = build_parser().parse_args(
+            ["matrix", "--scenarios", "adversarial", "--sizes", "10"]
+            + extra
+        )
+        return _build_disruption_spec(args)
+
+    def test_every_override_flag_lands_in_spec(self):
+        spec = self._spec([
+            "--mtbf", "5000", "--mttr", "600",
+            "--failure-model", "weibull",
+            "--drain-every", "4000", "--drain-nodes", "2",
+            "--drain-duration", "1200", "--drain-lead", "300",
+            "--drain-first", "100",
+            "--rack-mtbf", "9000", "--correlation", "0.5",
+            "--correlation-level", "switch",
+            "--disruption-seed", "7",
+        ])
+        assert spec.mtbf == 5000
+        assert spec.mttr == 600
+        assert spec.failure_model == "weibull"
+        assert spec.drain_every == 4000
+        assert spec.drain_nodes == 2
+        assert spec.drain_duration == 1200
+        assert spec.drain_lead == 300
+        assert spec.drain_first == 100
+        assert spec.rack_mtbf == 9000
+        assert spec.correlation == 0.5
+        assert spec.correlation_level == "switch"
+        assert spec.seed == 7
+
+    def test_checkpoint_interval_must_be_positive(self):
+        from repro.experiments.cli import DisruptionArgsError
+
+        with pytest.raises(DisruptionArgsError, match="must be positive"):
+            self._spec([
+                "--restart-policy", "checkpoint",
+                "--checkpoint-interval", "0",
+            ])
+
+    def test_invalid_override_reported_as_friendly_error(self):
+        # The spec's own validation (mtbf > 0) surfaces as a
+        # DisruptionArgsError, not a bare dataclasses traceback.
+        from repro.experiments.cli import DisruptionArgsError
+
+        with pytest.raises(DisruptionArgsError, match="mtbf must be positive"):
+            self._spec(["--mtbf", "-5"])
+
+
+class TestMatrixInterruptNoStore:
+    def test_interrupt_without_out_reports_nothing_persisted(
+        self, monkeypatch, capsys
+    ):
+        from repro.experiments import cli
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt("mid-sweep")
+
+        monkeypatch.setattr(cli, "run_matrix_parallel", boom)
+        rc = main([
+            "matrix", "--scenarios", "adversarial", "--sizes", "10",
+            "--schedulers", "fcfs",
+        ])
+        assert rc == 130
+        err = capsys.readouterr().err
+        assert "interrupted (mid-sweep)" in err
+        assert "nothing persisted" in err
+
+
+class TestBenchCommand:
+    """The bench subcommand's control flow, with the (slow) bench
+    machinery stubbed out."""
+
+    @pytest.fixture()
+    def bench_mod(self, monkeypatch):
+        from repro.experiments import bench
+
+        monkeypatch.setattr(
+            bench, "run_bench", lambda **kw: {"meta": {"quick": True}}
+        )
+        monkeypatch.setattr(
+            bench, "render_report", lambda rep: "BENCH TABLE"
+        )
+        return bench
+
+    def test_bad_section_is_a_friendly_error(self, monkeypatch, capsys):
+        from repro.experiments import bench
+
+        def raise_value_error(**kwargs):
+            raise ValueError("unknown bench section(s): nope")
+
+        monkeypatch.setattr(bench, "run_bench", raise_value_error)
+        assert main(["bench", "--sections", "nope"]) == 2
+        assert "unknown bench section" in capsys.readouterr().err
+
+    def test_json_report_is_written(
+        self, bench_mod, monkeypatch, capsys, tmp_path
+    ):
+        written = {}
+        monkeypatch.setattr(
+            bench_mod,
+            "write_report",
+            lambda rep, path: written.update(path=path),
+        )
+        out_path = str(tmp_path / "bench.json")
+        assert main(["bench", "--quick", "--json", out_path]) == 0
+        captured = capsys.readouterr()
+        assert "BENCH TABLE" in captured.out
+        assert f"wrote {out_path}" in captured.err
+        assert written["path"] == out_path
+
+    def test_strict_baseline_regression_fails_with_annotations(
+        self, bench_mod, monkeypatch, capsys
+    ):
+        class Reg:
+            def describe(self):
+                return "replan_ms: 10.0 -> 20.0 (+100%)"
+
+        monkeypatch.setattr(bench_mod, "load_report", lambda path: {})
+        monkeypatch.setattr(
+            bench_mod,
+            "compare_to_baseline",
+            lambda rep, base, threshold, dimensionless_only: [Reg()],
+        )
+        monkeypatch.setenv("GITHUB_ACTIONS", "1")
+        rc = main([
+            "bench", "--quick", "--baseline", "BENCH.json", "--strict",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "1 metric(s) regressed" in out
+        assert "ERROR: replan_ms" in out
+        assert "::error title=bench regression::" in out
+
+    def test_clean_baseline_comparison_passes(
+        self, bench_mod, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(bench_mod, "load_report", lambda path: {})
+        monkeypatch.setattr(
+            bench_mod,
+            "compare_to_baseline",
+            lambda rep, base, threshold, dimensionless_only: [],
+        )
+        rc = main(["bench", "--quick", "--baseline", "BENCH.json"])
+        assert rc == 0
+        assert "no regressions >25%" in capsys.readouterr().out

@@ -1,17 +1,21 @@
 """Tests for the parallel experiment engine: determinism, streaming
 artifacts, and resume."""
 
+import re
+
 import pytest
 
 from repro.experiments.parallel import (
+    CellFailedError,
     MatrixCell,
+    SweepInterrupted,
     expand_cells,
     resolve_workers,
     run_cells,
     run_matrix_parallel,
 )
 from repro.experiments.runner import run_matrix
-from repro.experiments.store import RunStore
+from repro.experiments.store import FailureSidecar, RunStore
 
 SCENARIOS = ("adversarial", "resource_sparse")
 SIZES = (10,)
@@ -179,3 +183,110 @@ class TestFailingCell:
         with pytest.raises(Exception, match="no-such-scheduler"):
             run_cells(cells, workers=1, store=store)
         assert len(store.load()) == 1
+
+
+class TestRetryPolicy:
+    def test_invalid_on_cell_failure_rejected(self):
+        with pytest.raises(ValueError, match="on_cell_failure"):
+            run_cells(
+                [MatrixCell("adversarial", 5, "fcfs")],
+                workers=1, on_cell_failure="explode",
+            )
+
+    def test_abort_error_reports_attempt_count(self):
+        cells = [MatrixCell("adversarial", 8, "no-such-scheduler")]
+        with pytest.raises(
+            CellFailedError, match=r"after 1 attempt\(s\)"
+        ):
+            run_cells(cells, workers=1, max_retries=0)
+        with pytest.raises(
+            CellFailedError, match=r"after 3 attempt\(s\)"
+        ):
+            run_cells(cells, workers=1, max_retries=2, retry_backoff_s=0.0)
+
+    def test_quarantine_mode_finishes_healthy_cells(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        cells = [
+            MatrixCell("adversarial", 8, "fcfs"),
+            MatrixCell("adversarial", 8, "no-such-scheduler"),
+            MatrixCell("adversarial", 8, "sjf"),
+        ]
+        failures = []
+        runs = run_cells(
+            cells, workers=1, store=store,
+            max_retries=1, retry_backoff_s=0.0,
+            on_cell_failure="quarantine", failures=failures,
+        )
+        assert [r.scheduler for r in runs] == ["fcfs", "sjf"]
+        assert len(failures) == 1
+        fc = failures[0]
+        assert fc.kind == "exception"
+        assert fc.attempts == 2
+        assert "no-such-scheduler" in str(fc.key)
+        assert fc.traceback_tail  # enough context to diagnose
+        # The quarantined cell never pollutes the store, and the
+        # sidecar record survives a reload.
+        assert {s.scheduler for s in store.load()} == {"fcfs", "sjf"}
+        sidecar = FailureSidecar.for_store(store)
+        assert [f.key for f in sidecar.load()] == [fc.key]
+
+
+class TestInterruptAccounting:
+    def test_inline_interrupt_reports_counts(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        cells = expand_cells(SCENARIOS, (6,), SCHEDULERS)
+        real = parallel_mod._execute_cell
+        state = {"n": 0}
+
+        def interrupting(cell, attempt=1):
+            state["n"] += 1
+            if state["n"] == 3:
+                raise KeyboardInterrupt
+            return real(cell, attempt)
+
+        monkeypatch.setattr(parallel_mod, "_execute_cell", interrupting)
+        with pytest.raises(
+            SweepInterrupted,
+            match=r"2 cell\(s\) completed \(0 salvaged\), 2 cancelled",
+        ):
+            run_cells(cells, workers=1)
+
+    def test_pooled_interrupt_salvages_with_consistent_accounting(
+        self, tmp_path
+    ):
+        cells = expand_cells(SCENARIOS, (6,), SCHEDULERS)
+        store = RunStore(tmp_path / "runs.jsonl")
+        calls = []
+        state = {"raised": False}
+
+        def progress(cell, completed, total):
+            calls.append((completed, total))
+            if not state["raised"]:
+                state["raised"] = True
+                raise KeyboardInterrupt
+
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_cells(cells, workers=2, store=store, progress=progress)
+
+        message = str(excinfo.value)
+        m = re.fullmatch(
+            r"sweep interrupted: (\d+) cell\(s\) completed "
+            r"\((\d+) salvaged after interrupt\), (\d+) cancelled",
+            message,
+        )
+        assert m, message
+        completed, salvaged, cancelled = map(int, m.groups())
+        # The books balance: every cell is completed or cancelled,
+        # at least one finished before the interrupt and at least one
+        # never ran.
+        assert completed + cancelled == len(cells)
+        assert completed >= 1
+        assert salvaged == completed - 1
+        assert cancelled >= 1
+        # Everything reported completed is durably in the store.
+        assert len(store.load()) == completed
+        # Progress stayed consistent through the salvage phase:
+        # monotonically increasing completed, constant total.
+        assert [c for c, _ in calls] == list(range(1, completed + 1))
+        assert {t for _, t in calls} == {len(cells)}

@@ -7,6 +7,8 @@ import pytest
 from repro.experiments.runner import run_single
 from repro.experiments.store import (
     SCHEMA_VERSION,
+    FailedCell,
+    FailureSidecar,
     RunStore,
     StoredRun,
     cell_key,
@@ -192,3 +194,276 @@ class TestRunStore:
         store = RunStore(tmp_path / "deep" / "nested" / "runs.jsonl")
         store.append(make_stored())
         assert len(store) == 1
+
+
+class TestRepairTailEdgeCases:
+    """_repair_tail must survive every shape of killed-write tail."""
+
+    def test_huge_unparseable_tail_spans_chunks(self, tmp_path):
+        # The backward newline scan works in 64 KiB chunks; a partial
+        # line longer than one chunk must still be found and truncated.
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        first = make_stored(scheduler="fcfs")
+        store.append(first)
+        with path.open("a") as fh:
+            fh.write('{"scenario": "x", "pad": "' + "y" * 200_000)
+        second = make_stored(scheduler="sjf")
+        store.append(second)
+        assert store.load() == [first, second]
+        # The partial line is gone from disk, not merely tolerated.
+        assert "yyy" not in path.read_text()
+
+    def test_huge_parseable_tail_spans_chunks(self, tmp_path):
+        # A >64 KiB COMPLETE line missing only its newline: the scan
+        # must still parse it and restore the newline, losing nothing.
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        big = make_stored(
+            scheduler="fcfs",
+            decision_summary={"pad": "x" * 200_000},
+        )
+        with path.open("w") as fh:
+            fh.write(big.to_json())  # no trailing newline
+        second = make_stored(scheduler="sjf")
+        store.append(second)
+        assert store.load() == [big, second]
+        assert path.read_text().count("\n") == 2
+
+    def test_file_with_no_newline_at_all_unparseable(self, tmp_path):
+        # A store whose very first write was torn: no newline anywhere.
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"scenario": "adversar')
+        store = RunStore(path)
+        stored = make_stored()
+        store.append(stored)
+        assert store.load() == [stored]
+        assert path.read_text() == stored.to_json() + "\n"
+
+    def test_empty_file_append(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text("")
+        store = RunStore(path)
+        stored = make_stored()
+        store.append(stored)
+        assert store.load() == [stored]
+
+
+class TestLoadOnCorrupt:
+    def _corrupted_store(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        good = [make_stored(scheduler="fcfs"), make_stored(scheduler="sjf")]
+        store.append(good[0])
+        with path.open("a") as fh:
+            fh.write("#CORRUPT# definitely not json\n")
+        store.append(good[1])
+        return store, good
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        with pytest.raises(ValueError, match="on_corrupt"):
+            store.load(on_corrupt="ignore")
+
+    def test_raise_names_file_line_and_doctor(self, tmp_path):
+        store, _ = self._corrupted_store(tmp_path)
+        with pytest.raises(ValueError, match=r"runs\.jsonl:2: corrupt"):
+            store.load()
+        with pytest.raises(ValueError, match="store doctor"):
+            store.load()
+
+    def test_quarantine_returns_parseable_runs(self, tmp_path):
+        store, good = self._corrupted_store(tmp_path)
+        assert store.load(on_corrupt="quarantine") == good
+        # The file itself is untouched — strict load still raises.
+        with pytest.raises(ValueError, match="corrupt"):
+            store.load()
+
+
+class TestDoctor:
+    def test_healthy_store_is_a_no_op(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.append(make_stored())
+        before = path.read_text()
+        report = store.doctor()
+        assert report.clean
+        assert (report.n_kept, report.n_quarantined) == (1, 0)
+        assert "healthy" in report.summary()
+        assert path.read_text() == before
+        assert not store.quarantine_path.exists()
+
+    def test_salvages_verbatim_and_quarantines_with_line_numbers(
+        self, tmp_path
+    ):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        a = make_stored(scheduler="fcfs")
+        b = make_stored(scheduler="sjf")
+        store.append(a)
+        with path.open("a") as fh:
+            fh.write("junk line\n")
+        store.append(b)
+        original_lines = [
+            ln for ln in path.read_text().splitlines() if ln != "junk line"
+        ]
+        report = store.doctor()
+        assert not report.clean
+        assert (report.n_kept, report.n_quarantined) == (2, 1)
+        assert report.quarantined_lines == (2,)
+        # Healthy lines survive byte-for-byte, never re-serialized.
+        assert path.read_text().splitlines() == original_lines
+        assert store.quarantine_path.read_text() == "L2\tjunk line\n"
+        assert store.load() == [a, b]
+
+    def test_dry_run_reports_without_writing(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.append(make_stored())
+        with path.open("a") as fh:
+            fh.write("junk\n")
+        before = path.read_text()
+        report = store.doctor(dry_run=True)
+        assert report.n_quarantined == 1
+        assert "would move" in report.summary()
+        assert path.read_text() == before
+        assert not store.quarantine_path.exists()
+
+    def test_quarantine_file_accumulates_across_doctors(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.append(make_stored())
+        with path.open("a") as fh:
+            fh.write("bad one\n")
+        store.doctor()
+        with path.open("a") as fh:
+            fh.write("bad two\n")
+        store.doctor()
+        assert store.quarantine_path.read_text() == (
+            "L2\tbad one\nL2\tbad two\n"
+        )
+
+
+class TestKeyIndexCache:
+    def _count_parses(self, store, monkeypatch):
+        calls = {"n": 0}
+        real = type(store)._iter_lines
+
+        def counting(self):
+            calls["n"] += 1
+            return real(self)
+
+        monkeypatch.setattr(type(store), "_iter_lines", counting)
+        return calls
+
+    def test_membership_checks_parse_once(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path / "runs.jsonl")
+        a = make_stored(scheduler="fcfs")
+        b = make_stored(scheduler="sjf")
+        store.append(a)
+        store.append(b)
+        calls = self._count_parses(store, monkeypatch)
+        for _ in range(50):
+            assert a.key in store
+            assert len(store) == 2
+            assert store.completed_keys() == {a.key, b.key}
+        assert calls["n"] == 1
+
+    def test_own_append_invalidates(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path / "runs.jsonl")
+        a = make_stored(scheduler="fcfs")
+        store.append(a)
+        assert len(store) == 1
+        b = make_stored(scheduler="sjf")
+        store.append(b)
+        assert len(store) == 2
+        assert b.key in store
+
+    def test_external_write_invalidates(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        writer = RunStore(path)
+        reader = RunStore(path)
+        a = make_stored(scheduler="fcfs")
+        writer.append(a)
+        assert len(reader) == 1  # reader caches here
+        b = make_stored(scheduler="sjf")
+        writer.append(b)  # a different RunStore instance writes
+        assert len(reader) == 2
+        assert b.key in reader
+
+    def test_quarantine_load_is_not_cached_as_strict(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.append(make_stored())
+        with path.open("a") as fh:
+            fh.write("junk\n")
+        store.append(make_stored(scheduler="sjf"))
+        assert len(store.load(on_corrupt="quarantine")) == 2
+        # The tolerant result must not satisfy a later strict load.
+        with pytest.raises(ValueError, match="corrupt"):
+            store.load()
+
+
+class TestFailedCell:
+    def _failed(self, **overrides):
+        base = dict(
+            key=cell_key("adversarial", 10, "fcfs", 0, 0),
+            kind="timeout",
+            error_type="TimeoutError",
+            message="cell exceeded --cell-timeout",
+            traceback_tail="TimeoutError: ...",
+            attempts=3,
+        )
+        base.update(overrides)
+        return FailedCell(**base)
+
+    def test_json_round_trip(self):
+        fc = self._failed()
+        again = FailedCell.from_json(fc.to_json())
+        assert again == fc
+        assert isinstance(again.key, tuple)
+
+    def test_label(self):
+        assert self._failed().label == "adversarial/10/fcfs w0 s0"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FailedCell.from_json("{nope")
+        with pytest.raises(ValueError, match="JSON object"):
+            FailedCell.from_json("[1, 2]")
+        with pytest.raises(ValueError, match="missing field"):
+            FailedCell.from_json('{"key": ["a", 1, "b", 0, 0]}')
+
+
+class TestFailureSidecar:
+    def test_for_store_path_convention(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        sidecar = FailureSidecar.for_store(store)
+        assert sidecar.path == tmp_path / "runs.jsonl.failures"
+
+    def test_missing_sidecar_loads_empty(self, tmp_path):
+        assert FailureSidecar(tmp_path / "none.failures").load() == []
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        sidecar = FailureSidecar(tmp_path / "deep" / "runs.jsonl.failures")
+        records = [
+            FailedCell(
+                key=cell_key("adversarial", 10, "fcfs", 0, 0),
+                kind="pool-crash",
+                error_type="BrokenProcessPool",
+                message="worker died",
+                traceback_tail="",
+                attempts=2,
+            ),
+            FailedCell(
+                key=cell_key("resource_sparse", 6, "sjf", 1, 0),
+                kind="exception",
+                error_type="ValueError",
+                message="boom",
+                traceback_tail="ValueError: boom",
+                attempts=3,
+            ),
+        ]
+        for record in records:
+            sidecar.append(record)
+        assert sidecar.load() == records

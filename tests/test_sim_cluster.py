@@ -170,3 +170,19 @@ class TestNodeLevelCluster:
             NodeLevelCluster(node_count=0)
         with pytest.raises(ValueError):
             NodeLevelCluster(memory_per_node_gb=0.0)
+
+
+class TestNodeLevelSnapshot:
+    def test_snapshot_tracks_usage(self):
+        cluster = NodeLevelCluster(node_count=4, memory_per_node_gb=8.0)
+        cluster.allocate(make_job(1, nodes=3, memory=6.0))
+        snap = cluster.snapshot()
+        assert snap["total_nodes"] == 4
+        assert snap["total_memory_gb"] == pytest.approx(32.0)
+        assert snap["free_nodes"] == 1
+        assert snap["used_nodes"] == 3
+        # Nodes are exclusive, so memory accounting is whole-node.
+        assert snap["used_memory_gb"] == pytest.approx(24.0)
+        assert snap["free_memory_gb"] == pytest.approx(8.0)
+        cluster.release(1)
+        assert cluster.snapshot()["used_nodes"] == 0

@@ -1020,3 +1020,55 @@ class TestDisruptedRunsStayValid:
         )
         assert len(result.records) == 30
         result.verify_capacity()
+
+
+class TestSpecValidation:
+    """DisruptionSpec rejects bad values at construction time, so a
+    malformed sweep cell fails in the CLI's friendly-error path and
+    never inside a worker process."""
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"failure_model": "gamma"}, "unknown failure model"),
+            ({"mtbf": 0.0}, "mtbf must be positive"),
+            ({"mtbf": -10.0}, "mtbf must be positive"),
+            ({"mttr": 0.0}, "mttr must be positive"),
+            ({"weibull_shape": 0.0}, "weibull_shape must be positive"),
+            ({"rack_mtbf": 0.0}, "rack_mtbf must be positive"),
+            ({"rack_mtbf": 100.0, "correlation": 0.0},
+             r"correlation must be in \(0, 1\]"),
+            ({"rack_mtbf": 100.0, "correlation": 1.5},
+             r"correlation must be in \(0, 1\]"),
+            ({"correlation_level": "node"},
+             "correlation_level must be 'rack' or 'switch'"),
+            ({"drain_every": 100.0},
+             "drain_every requires drain_nodes >= 1"),
+            ({"drain_every": 0.0, "drain_nodes": 1},
+             "drain_every must be positive"),
+            ({"drain_every": 100.0, "drain_nodes": 1,
+              "drain_duration": 0.0},
+             "drain_duration must be positive"),
+            ({"drain_every": 100.0, "drain_nodes": 1,
+              "drain_lead": -1.0},
+             "drain_lead must be non-negative"),
+            ({"drain_every": 100.0, "drain_nodes": 1,
+              "drain_first": -1.0},
+             "drain_first must be non-negative"),
+        ],
+    )
+    def test_bad_spec_rejected(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            DisruptionSpec(**kwargs)
+
+    def test_unknown_preset_lists_available(self):
+        from repro.sim.disruptions import get_disruption_preset
+
+        with pytest.raises(KeyError, match="unknown disruption preset"):
+            get_disruption_preset("not-a-preset")
+        # The error enumerates what IS available.
+        try:
+            get_disruption_preset("not-a-preset")
+        except KeyError as exc:
+            for name in DISRUPTION_PRESETS:
+                assert name in str(exc)
