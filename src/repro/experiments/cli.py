@@ -362,11 +362,24 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument(
         "--scenarios",
         nargs="+",
-        required=True,
         choices=sorted(SCENARIOS),
-        help="scenario names to sweep",
+        help="scenario names to sweep (required unless --retry-failed)",
     )
-    pm.add_argument("--sizes", type=int, nargs="+", required=True)
+    pm.add_argument(
+        "--sizes", type=int, nargs="+",
+        help="queue sizes to sweep (required unless --retry-failed)",
+    )
+    pm.add_argument(
+        "--retry-failed",
+        metavar="STORE",
+        default=None,
+        help=(
+            "instead of expanding a matrix, re-run exactly the "
+            "quarantined cells recorded in STORE.failures (written by "
+            "--on-cell-failure quarantine); cells that now succeed "
+            "stream into STORE and are pruned from the sidecar"
+        ),
+    )
     pm.add_argument(
         "--schedulers",
         nargs="+",
@@ -480,6 +493,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report what would be quarantined without writing anything",
     )
+    pdoc.add_argument(
+        "--dedupe",
+        action="store_true",
+        help=(
+            "also compact superseded duplicate-key lines: each cell "
+            "keeps only its winning (last-written) line, byte-for-byte, "
+            "at its first-appearance position — what load() resolves "
+            "is unchanged, the file just stops carrying dead data"
+        ),
+    )
 
     pb = sub.add_parser(
         "bench",
@@ -545,6 +568,61 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    pv = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon (JSON-lines over a socket)",
+        description=(
+            "Start the long-lived scheduling service: clients open "
+            "isolated sessions, stream job arrivals in, and pull "
+            "schedules/metrics back over a JSON-lines protocol; sweep "
+            "cells (run_cell) are answered from a CellKey result cache "
+            "backed by --store, simulating only on a genuine miss. "
+            "Served schedules are byte-identical to batch simulate() "
+            "for the same inputs. Stop with SIGINT/SIGTERM or a "
+            "client 'shutdown' request; in-flight requests drain "
+            "first."
+        ),
+    )
+    bind = pv.add_mutually_exclusive_group(required=True)
+    bind.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="bind a unix domain socket at PATH",
+    )
+    bind.add_argument(
+        "--host",
+        default=None,
+        help="bind TCP on this interface (with --port)",
+    )
+    pv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: ephemeral, printed at startup)",
+    )
+    pv.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "JSONL artifact store backing the cell result cache; "
+            "cells already persisted are served without simulating, "
+            "new cells are appended (shareable with matrix --out)"
+        ),
+    )
+    pv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for run_cell (default: all cores)",
+    )
+    pv.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="in-memory LRU capacity, in cells (default 4096)",
+    )
+
     pc = sub.add_parser(
         "compare",
         help="paired cross-seed comparison of two schedulers (Wilcoxon)",
@@ -557,6 +635,134 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list scenarios and schedulers")
     return parser
+
+
+def _matrix_retry_failed(args) -> int:
+    """``matrix --retry-failed STORE``: re-run the quarantined cells.
+
+    The cell list comes from ``STORE.failures`` (the sidecar written
+    by ``--on-cell-failure quarantine``), rebuilt exactly from each
+    record's stored config — same seeds, same disruptions, same
+    topology, so a recovered cell's line is byte-identical to what the
+    original sweep would have written. Cells that now succeed stream
+    into STORE and are pruned from the sidecar; cells that fail again
+    stay quarantined (their sidecar record refreshed) and the exit
+    status is 3, mirroring the quarantine sweep itself.
+    """
+    from repro.experiments.parallel import (
+        DEFAULT_RETRY_BACKOFF_S,
+        MatrixCell,
+        run_cells,
+    )
+    from repro.experiments.store import FailureSidecar
+
+    store = RunStore(args.retry_failed)
+    sidecar = FailureSidecar.for_store(store)
+    if not sidecar.path.exists():
+        print(f"nothing to retry: no failure sidecar at {sidecar.path}")
+        return 0
+    try:
+        records = sidecar.load()
+    except ValueError as exc:
+        print(f"error: unreadable sidecar {sidecar.path}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not records:
+        print(f"nothing to retry: {sidecar.path} is empty")
+        return 0
+    unretriable = [r for r in records if r.config is None]
+    if unretriable:
+        print(
+            f"error: {len(unretriable)} record(s) in {sidecar.path} "
+            "predate the config-carrying sidecar format (schema v1) "
+            "and cannot be rebuilt; re-run the original matrix "
+            "command with --resume instead",
+            file=sys.stderr,
+        )
+        return 2
+    cells: list[MatrixCell] = []
+    seen = set()
+    for rec in records:
+        try:
+            cell = MatrixCell.from_config(rec.config)
+        except ValueError as exc:
+            print(
+                f"error: bad config in {sidecar.path} for "
+                f"{rec.label}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        if cell.key not in seen:
+            seen.add(cell.key)
+            cells.append(cell)
+    print(f"retrying {len(cells)} quarantined cell(s) from {sidecar.path}")
+
+    def progress(cell, completed, total):
+        print(
+            f"[{completed}/{total}] {cell.scenario} n={cell.n_jobs} "
+            f"{cell.scheduler} wseed={cell.workload_seed} "
+            f"sseed={cell.scheduler_seed}",
+            flush=True,
+        )
+
+    failures: list[FailedCell] = []
+    try:
+        run_cells(
+            cells,
+            workers=args.workers,
+            store=store,
+            resume=True,
+            progress=progress,
+            cell_timeout=args.cell_timeout,
+            max_retries=args.max_retries,
+            retry_backoff_s=(
+                DEFAULT_RETRY_BACKOFF_S
+                if args.retry_backoff is None
+                else args.retry_backoff
+            ),
+            on_cell_failure="quarantine",
+            failures=failures,
+        )
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted — completed retries are persisted in "
+            f"{store.path}; run --retry-failed again to finish",
+            file=sys.stderr,
+        )
+        return 130
+    # Prune recovered cells; compact duplicate records (the re-failed
+    # cells just appended a refreshed line each) down to last-wins.
+    done = store.completed_keys()
+    recovered_keys = {c.key for c in cells if c.key in done}
+    sidecar.prune(recovered_keys)
+    remaining = sidecar.load() if sidecar.path.exists() else []
+    last = {r.key: r for r in remaining}
+    if len(last) != len(remaining):
+        import os as _os
+
+        tmp = sidecar.path.with_name(sidecar.path.name + ".compact.tmp")
+        tmp.write_text(
+            "".join(r.to_json() + "\n" for r in last.values()),
+            encoding="utf-8",
+        )
+        _os.replace(tmp, sidecar.path)
+    print(
+        f"recovered {len(recovered_keys)}/{len(cells)} cell(s) into "
+        f"{store.path}"
+    )
+    if failures:
+        print(
+            f"{len(failures)} cell(s) still failing (sidecar kept):",
+            file=sys.stderr,
+        )
+        for fc in failures:
+            print(
+                f"  {fc.label}: {fc.kind} x{fc.attempts} — "
+                f"{fc.error_type}: {fc.message}",
+                file=sys.stderr,
+            )
+        return 3
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -655,6 +861,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             CellFailedError,
         )
 
+        if args.retry_failed is not None:
+            if args.scenarios or args.sizes or args.resume or args.out:
+                print(
+                    "error: --retry-failed takes the cell list from the "
+                    "failure sidecar; it cannot be combined with "
+                    "--scenarios/--sizes/--out/--resume",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                _check_fault_args(args)
+            except DisruptionArgsError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            return _matrix_retry_failed(args)
+        if not args.scenarios or not args.sizes:
+            print(
+                "error: --scenarios and --sizes are required "
+                "(or use --retry-failed STORE)",
+                file=sys.stderr,
+            )
+            return 2
         if args.resume and not args.out:
             print("error: --resume requires --out", file=sys.stderr)
             return 2
@@ -843,7 +1071,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not store.path.exists():
             print(f"error: no store at {args.path}", file=sys.stderr)
             return 2
-        doc = store.doctor(dry_run=args.dry_run)
+        doc = store.doctor(dry_run=args.dry_run, dedupe=args.dedupe)
         print(doc.summary())
         return 0 if doc.clean else 1
 
@@ -925,6 +1153,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"total elapsed (accepted placements): "
                   f"{run.overhead.elapsed_s:.1f}s over "
                   f"{run.overhead.n_calls} calls")
+        return 0
+
+    if args.command == "serve":
+        import asyncio
+
+        from repro.service.server import run_server
+
+        if args.host is None and args.port:
+            print(
+                "error: --port needs --host (or use --socket PATH)",
+                file=sys.stderr,
+            )
+            return 2
+
+        def ready(server) -> None:
+            print(
+                f"repro-sched daemon listening on {server.address}",
+                flush=True,
+            )
+
+        try:
+            asyncio.run(
+                run_server(
+                    socket_path=args.socket,
+                    host=args.host,
+                    port=args.port,
+                    store_path=args.store,
+                    workers=args.workers,
+                    cache_size=args.cache_size,
+                    ready=ready,
+                )
+            )
+        except KeyboardInterrupt:  # pragma: no cover - signal race
+            pass
+        print("daemon stopped", flush=True)
         return 0
 
     if args.command == "compare":

@@ -34,13 +34,18 @@ specific cell::
 
 Rule kinds: ``crash`` (worker raises :class:`InjectedCrash`, or with
 ``"mode": "exit"`` dies without cleanup like an OOM kill), ``hang``
-(worker sleeps ``hang_s`` seconds — the watchdog's prey), and
+(worker sleeps ``hang_s`` seconds — the watchdog's prey), ``latency``
+(worker sleeps ``skew_s`` seconds and then proceeds normally — skew
+that must never change a persisted byte, only completion order),
 ``torn_write`` / ``corrupt_write`` (the store write for a matching
-cell is truncated mid-line / garbled in place).
+cell is truncated mid-line / garbled in place), and ``disk_full``
+(the store write raises ``OSError(ENOSPC)`` before any byte lands —
+the store's bounded append retry is its prey).
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -53,9 +58,11 @@ from typing import Mapping, Optional
 ENV_VAR = "REPRO_FAULTS"
 
 #: Fault kinds applied at cell-execution time (in the worker).
-CELL_KINDS = ("crash", "hang")
+#: ``latency`` is benign (the attempt proceeds after the sleep);
+#: ``crash``/``hang`` terminate the attempt.
+CELL_KINDS = ("crash", "hang", "latency")
 #: Fault kinds applied at store-write time (in the parent).
-WRITE_KINDS = ("torn_write", "corrupt_write")
+WRITE_KINDS = ("torn_write", "corrupt_write", "disk_full")
 
 
 class InjectedCrash(RuntimeError):
@@ -88,6 +95,10 @@ class FaultRule:
     hang_s: float = 3600.0
     #: ``crash``/``mode="exit"`` only: the worker's exit status.
     exit_code: int = 137
+    #: ``latency`` only: how long the worker is delayed before the
+    #: attempt proceeds. Short by default — skew is supposed to reorder
+    #: completions, not trip the watchdog.
+    skew_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.kind not in CELL_KINDS + WRITE_KINDS:
@@ -98,6 +109,8 @@ class FaultRule:
             raise ValueError(f"fault p must be in [0, 1], got {self.p}")
         if self.max_attempt < 1:
             raise ValueError("max_attempt must be >= 1")
+        if self.skew_s < 0:
+            raise ValueError(f"skew_s must be >= 0, got {self.skew_s}")
 
 
 @dataclass(frozen=True)
@@ -129,11 +142,27 @@ class FaultPlan:
         return int.from_bytes(digest[:8], "big") / 2**64 < rule.p
 
     def cell_rule(self, key: str, attempt: int) -> Optional[FaultRule]:
-        """First crash/hang rule firing for this (cell, attempt)."""
+        """First crash/hang rule firing for this (cell, attempt).
+
+        ``latency`` rules are deliberately excluded — they are benign
+        (the attempt proceeds) and *all* firing ones apply, not just
+        the first; see :meth:`latency_rules`.
+        """
         for rule in self.rules:
-            if rule.kind in CELL_KINDS and self.fires(rule, key, attempt):
+            if rule.kind in ("crash", "hang") and self.fires(
+                rule, key, attempt
+            ):
                 return rule
         return None
+
+    def latency_rules(self, key: str, attempt: int) -> list[FaultRule]:
+        """Every latency rule firing for this (cell, attempt); their
+        skews stack, modeling several independent slow components."""
+        return [
+            rule
+            for rule in self.rules
+            if rule.kind == "latency" and self.fires(rule, key, attempt)
+        ]
 
     def write_rule(self, key: str, attempt: int) -> Optional[FaultRule]:
         """First torn/corrupt-write rule firing for this write attempt."""
@@ -221,6 +250,10 @@ def on_cell_attempt(key: str, attempt: int) -> None:
     plan = active_plan()
     if plan is None:
         return
+    # Latency first: skew delays the attempt but never replaces the
+    # crash/hang decision — a slow worker can still die.
+    for lat in plan.latency_rules(key, attempt):
+        time.sleep(lat.skew_s)
     rule = plan.cell_rule(key, attempt)
     if rule is None:
         return
@@ -245,6 +278,10 @@ def mangle_store_line(key: str, line: str) -> tuple[str, bool]:
     trailing newline and stop, as if the process died mid-``write``.
     A corrupt write returns garbled text (still newline-free) to write
     as a normal full line — interior corruption once more lines follow.
+    A ``disk_full`` rule raises ``OSError(ENOSPC)`` instead — before
+    the caller writes a single byte, exactly like a full filesystem
+    rejecting the ``write(2)`` — and the write-attempt counter still
+    advances, so a ``max_attempt=1`` rule clears on the store's retry.
     """
     plan = active_plan()
     if plan is None:
@@ -254,6 +291,12 @@ def mangle_store_line(key: str, line: str) -> tuple[str, bool]:
     rule = plan.write_rule(key, attempt)
     if rule is None:
         return line, True
+    if rule.kind == "disk_full":
+        raise OSError(
+            errno.ENOSPC,
+            f"injected disk-full on store write (cell {key}, "
+            f"write attempt {attempt})",
+        )
     if rule.kind == "torn_write":
         return line[: max(1, len(line) // 2)], False
     return "#CORRUPT#" + line[len(line) // 3:], True

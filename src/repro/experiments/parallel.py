@@ -30,6 +30,7 @@ saw them, which is exactly what the chaos suite
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import signal
 import time
@@ -148,6 +149,73 @@ class MatrixCell:
             ),
             topology_signature(self.topology),
         )
+
+    # -- lossless config round-trip --------------------------------------
+    # The CellKey alone cannot rebuild a cell: its disruption/topology
+    # parts are opaque signature strings. to_config()/from_config()
+    # carry the actual constructor arguments, so a quarantined cell's
+    # sidecar record is enough to re-run it (`matrix --retry-failed`).
+    def to_config(self) -> dict:
+        """JSON-safe dict from which :meth:`from_config` rebuilds the
+        cell exactly (``from_config(to_config()) == cell``)."""
+        return {
+            "scenario": self.scenario,
+            "n_jobs": self.n_jobs,
+            "scheduler": self.scheduler,
+            "workload_seed": self.workload_seed,
+            "scheduler_seed": self.scheduler_seed,
+            "arrival_mode": self.arrival_mode,
+            "disruptions": (
+                dataclasses.asdict(self.disruptions)
+                if self.disruptions is not None
+                else None
+            ),
+            "restart_policy": self.restart_policy,
+            "checkpoint_interval": self.checkpoint_interval,
+            "topology": (
+                {
+                    "n_nodes": self.topology.n_nodes,
+                    "rack_size": self.topology.rack_size,
+                    "racks_per_switch": self.topology.racks_per_switch,
+                }
+                if self.topology is not None
+                else None
+            ),
+            "anneal_window": self.anneal_window,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "MatrixCell":
+        """Inverse of :meth:`to_config`; raises ``ValueError`` on a
+        malformed dict (e.g. hand-edited sidecar)."""
+        try:
+            disruptions = None
+            if config.get("disruptions") is not None:
+                disruptions = DisruptionSpec(**config["disruptions"])
+            topology = None
+            if config.get("topology") is not None:
+                topology = ClusterTopology(**config["topology"])
+            checkpoint = config.get("checkpoint_interval")
+            window = config.get("anneal_window")
+            return cls(
+                scenario=str(config["scenario"]),
+                n_jobs=int(config["n_jobs"]),
+                scheduler=str(config["scheduler"]),
+                workload_seed=int(config["workload_seed"]),
+                scheduler_seed=int(config["scheduler_seed"]),
+                arrival_mode=str(config["arrival_mode"]),
+                disruptions=disruptions,
+                restart_policy=str(config["restart_policy"]),
+                checkpoint_interval=(
+                    float(checkpoint) if checkpoint is not None else None
+                ),
+                topology=topology,
+                anneal_window=int(window) if window is not None else None,
+                engine=str(config.get("engine", "soa")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed cell config: {exc}") from exc
 
 
 def expand_cells(
@@ -355,6 +423,7 @@ def run_cells(
             message=str(exc),
             traceback_tail=_traceback_tail(exc),
             attempts=attempts[index],
+            config=cell.to_config(),
         )
         if failures is not None:
             failures.append(failed[index])

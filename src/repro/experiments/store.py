@@ -240,14 +240,21 @@ class RunStore:
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
-        #: Parsed-file cache: (stat signature, runs, key set). Resume
-        #: scans call ``completed_keys``/``__contains__`` in loops; the
-        #: cache makes those O(1) after one parse instead of re-reading
-        #: the archive per call. Invalidated whenever the file's
-        #: (mtime_ns, size) changes — including writes by other
-        #: processes — and explicitly on our own writes.
+        #: Parsed-file cache: (stat signature, runs, key set, by-key
+        #: map). Resume scans call ``completed_keys``/``__contains__``
+        #: in loops and the service's result cache calls :meth:`get`
+        #: per request; the cache makes those O(1) after one parse
+        #: instead of re-reading the archive per call. Invalidated
+        #: whenever the file's (mtime_ns, size) changes — including
+        #: writes by other processes — and explicitly on our own
+        #: writes.
         self._cache: Optional[
-            tuple[tuple[int, int], tuple[StoredRun, ...], frozenset[CellKey]]
+            tuple[
+                tuple[int, int],
+                tuple[StoredRun, ...],
+                frozenset[CellKey],
+                dict[CellKey, StoredRun],
+            ]
         ] = None
 
     def _stat_sig(self) -> Optional[tuple[int, int]]:
@@ -302,25 +309,50 @@ class RunStore:
                 fh.seek(0, os.SEEK_END)
                 fh.write(b"\n")
 
+    #: How many times ``append`` retries a failed write before letting
+    #: the ``OSError`` surface. Disk-full is frequently transient on
+    #: shared filesystems (another sweep's temp files, a log rotation);
+    #: a bounded in-place retry rides it out without corrupting the
+    #: archive or losing the cell.
+    APPEND_RETRIES = 3
+
     def append(self, run: Union[StoredRun, "ExperimentRun"]) -> StoredRun:
         """Persist one run (coercing :class:`ExperimentRun`) and return
         the stored form. Each line is flushed to the OS immediately so
-        a crash loses at most the line being written."""
+        a crash loses at most the line being written.
+
+        A write that fails with ``OSError`` (ENOSPC and kin) is retried
+        up to :attr:`APPEND_RETRIES` times; each attempt re-repairs the
+        tail first, so a partial write from the failed attempt is
+        truncated away rather than glued onto the retry's line. If the
+        condition persists the last error propagates — with the file
+        left in a loadable state.
+        """
         stored = run if isinstance(run, StoredRun) else StoredRun.from_run(run)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._repair_tail()
-        # Chaos-harness hook: with a fault plan active this may tear or
-        # garble the line (see faultinject); without one — the
-        # production default — it returns the line verbatim.
-        text, complete = faultinject.mangle_store_line(
-            cell_key_str(stored.key), stored.to_json()
-        )
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(text + ("\n" if complete else ""))
-            fh.flush()
-            os.fsync(fh.fileno())
-        self._invalidate()
-        return stored
+        last_err: Optional[OSError] = None
+        for _attempt in range(1 + self.APPEND_RETRIES):
+            try:
+                self._repair_tail()
+                # Chaos-harness hook: with a fault plan active this may
+                # tear or garble the line, or raise a synthetic ENOSPC
+                # (see faultinject); without one — the production
+                # default — it returns the line verbatim.
+                text, complete = faultinject.mangle_store_line(
+                    cell_key_str(stored.key), stored.to_json()
+                )
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write(text + ("\n" if complete else ""))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            except OSError as exc:
+                last_err = exc
+                self._invalidate()
+                continue
+            self._invalidate()
+            return stored
+        assert last_err is not None
+        raise last_err
 
     # -- reading ---------------------------------------------------------
     def _iter_lines(self) -> Iterator[tuple[int, str, bool]]:
@@ -383,11 +415,16 @@ class RunStore:
             # load over a corrupt file must not masquerade as the
             # strict view on the next (default) call.
             self._cache = (
-                sig, tuple(runs), frozenset(r.key for r in runs)
+                sig,
+                tuple(runs),
+                frozenset(r.key for r in runs),
+                {r.key: r for r in runs},
             )
         return runs
 
-    def doctor(self, dry_run: bool = False) -> "DoctorReport":
+    def doctor(
+        self, dry_run: bool = False, *, dedupe: bool = False
+    ) -> "DoctorReport":
         """Salvage a corrupted archive in place.
 
         Every parseable line is kept **verbatim** (byte-for-byte — the
@@ -398,15 +435,33 @@ class RunStore:
         the newline restored. The rewrite is atomic (temp file +
         ``os.replace``), so a crash mid-doctor leaves the original
         archive untouched. With *dry_run* nothing is written.
+
+        With *dedupe*, superseded duplicate-key lines are compacted
+        away: each cell keeps only its **winning** (last-written) line,
+        placed at the key's first-appearance position — exactly the
+        order and content :meth:`load` already resolves, so compaction
+        never changes what loads, only the bytes on disk. Dropped
+        duplicates are counted in ``n_deduped`` (they are superseded
+        data, not corruption — nothing goes to quarantine).
         """
         kept: list[str] = []
         bad: list[tuple[int, str]] = []
+        slot_of: dict[CellKey, int] = {}
+        n_deduped = 0
         for lineno, line, _is_last in self._iter_lines():
             stripped = line.rstrip("\n")
             try:
-                StoredRun.from_json(stripped)
+                stored = StoredRun.from_json(stripped)
             except ValueError:
                 bad.append((lineno + 1, stripped))
+                continue
+            if dedupe:
+                if stored.key in slot_of:
+                    kept[slot_of[stored.key]] = stripped
+                    n_deduped += 1
+                else:
+                    slot_of[stored.key] = len(kept)
+                    kept.append(stripped)
             else:
                 kept.append(stripped)
         report = DoctorReport(
@@ -416,16 +471,18 @@ class RunStore:
             n_quarantined=len(bad),
             quarantined_lines=tuple(no for no, _ in bad),
             dry_run=dry_run,
+            n_deduped=n_deduped,
         )
-        if dry_run or not bad:
+        if dry_run or (not bad and not n_deduped):
             return report
         tmp = self.path.with_name(self.path.name + ".doctor.tmp")
         tmp.write_text(
             "".join(line + "\n" for line in kept), encoding="utf-8"
         )
-        with self.quarantine_path.open("a", encoding="utf-8") as fh:
-            for lineno, line in bad:
-                fh.write(f"L{lineno}\t{line}\n")
+        if bad:
+            with self.quarantine_path.open("a", encoding="utf-8") as fh:
+                for lineno, line in bad:
+                    fh.write(f"L{lineno}\t{line}\n")
         os.replace(tmp, self.path)
         self._invalidate()
         return report
@@ -441,6 +498,24 @@ class RunStore:
         if self._cache is not None and self._cache[0] == sig:
             return set(self._cache[2])
         return {run.key for run in self.load()}
+
+    def get(self, key: CellKey) -> Optional[StoredRun]:
+        """The persisted run for *key* (last write wins), or ``None``.
+
+        Served from the parsed-file cache, so the service's result
+        cache can consult the archive per request at dict-lookup cost.
+        """
+        sig = self._stat_sig()
+        if self._cache is None or self._cache[0] != sig:
+            self.load()
+        if self._cache is not None and self._cache[0] == sig:
+            return self._cache[3].get(key)
+        # Uncacheable file (e.g. it changed mid-load): fall back to a
+        # direct scan of the freshly-parsed view.
+        for run in self.load():
+            if run.key == key:
+                return run
+        return None
 
     def __contains__(self, key: CellKey) -> bool:
         """Membership convenience; served from the parsed-file cache,
@@ -463,16 +538,27 @@ class DoctorReport:
     #: Original 1-based line numbers of the quarantined lines.
     quarantined_lines: tuple[int, ...]
     dry_run: bool = False
+    #: Superseded duplicate-key lines compacted away (``--dedupe``).
+    n_deduped: int = 0
 
     @property
     def clean(self) -> bool:
+        """No corruption found. Deduped lines are superseded data, not
+        corruption, so they do not make an archive unclean."""
         return self.n_quarantined == 0
 
     def summary(self) -> str:
+        dedupe_note = ""
+        if self.n_deduped:
+            verb = "would compact" if self.dry_run else "compacted"
+            dedupe_note = (
+                f"; {verb} {self.n_deduped} superseded duplicate "
+                "line(s)"
+            )
         if self.clean:
             return (
                 f"{self.path}: healthy — {self.n_kept} parseable "
-                "line(s), nothing to quarantine"
+                f"line(s), nothing to quarantine{dedupe_note}"
             )
         verb = "would move" if self.dry_run else "moved"
         lines = ", ".join(str(no) for no in self.quarantined_lines)
@@ -480,12 +566,17 @@ class DoctorReport:
             f"{self.path}: salvaged {self.n_kept} line(s); {verb} "
             f"{self.n_quarantined} unparseable line(s) "
             f"(line {lines}) to {self.quarantine_path} — those cells "
-            "are lost and will re-run on --resume"
+            f"are lost and will re-run on --resume{dedupe_note}"
         )
 
 
-#: Sidecar schema version for FailedCell records.
-FAILURE_SCHEMA_VERSION = 1
+#: Sidecar schema version for FailedCell records. v2 added ``config``
+#: — the full cell configuration (``MatrixCell.to_config()`` shape) so
+#: ``matrix --retry-failed`` can rebuild and re-run the exact cell; v1
+#: lines load with ``config=None`` and cannot be retried (the CellKey
+#: alone carries opaque signature strings, not the spec that built
+#: them).
+FAILURE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -510,6 +601,9 @@ class FailedCell:
     #: to keep the sidecar line-sized.
     traceback_tail: str
     attempts: int
+    #: Full cell configuration (``MatrixCell.to_config()``), enough to
+    #: rebuild and re-run the cell; ``None`` on schema-v1 lines.
+    config: Optional[dict[str, Any]] = None
     schema_version: int = FAILURE_SCHEMA_VERSION
 
     @property
@@ -541,6 +635,7 @@ class FailedCell:
                 message=str(payload["message"]),
                 traceback_tail=str(payload["traceback_tail"]),
                 attempts=int(payload["attempts"]),
+                config=payload.get("config"),
                 schema_version=int(
                     payload.get("schema_version", FAILURE_SCHEMA_VERSION)
                 ),
@@ -580,3 +675,26 @@ class FailureSidecar:
                 if line.strip():
                     records.append(FailedCell.from_json(line))
         return records
+
+    def prune(self, keys: set[CellKey]) -> int:
+        """Drop records whose key is in *keys* (cells that have since
+        succeeded — ``matrix --retry-failed`` calls this after a
+        retried cell lands in the store). Atomic rewrite; returns how
+        many records were removed. An emptied sidecar is deleted so a
+        fully-recovered sweep leaves no ``.failures`` file behind.
+        """
+        records = self.load()
+        survivors = [r for r in records if r.key not in keys]
+        removed = len(records) - len(survivors)
+        if not removed:
+            return 0
+        if not survivors:
+            self.path.unlink()
+            return removed
+        tmp = self.path.with_name(self.path.name + ".prune.tmp")
+        tmp.write_text(
+            "".join(r.to_json() + "\n" for r in survivors),
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)
+        return removed

@@ -157,12 +157,25 @@ class _QueueMap:
         return self._len() > 0
 
 
-def run_soa(sim: "HPCSimulator") -> ScheduleResult:
+def run_soa(
+    sim: "HPCSimulator",
+    calendar: Optional[ArrayCalendar] = None,
+) -> ScheduleResult:
     """Execute *sim* on the structure-of-arrays core.
 
     Semantically a line-by-line translation of the object engine
     (``HPCSimulator._run_object``); see the module docstring for what
     may differ (data layout) and what must not (everything observable).
+
+    *calendar*, when given, must be a sealed, unconsumed
+    :class:`~repro.sim.events.ArrayCalendar` holding exactly the
+    static events this function would otherwise build — one ARRIVAL
+    per job in workload order (payload = workload index), then the
+    disruption events. The service's session engine maintains such a
+    calendar incrementally (streamed arrivals appended to the sealed
+    lane) and passes a fork per replay; because the extend path
+    assigns sequence numbers exactly like a batch build, the run is
+    byte-identical to one over a calendar built here.
     """
     checker = ConstraintChecker()
     scheduler = sim.scheduler
@@ -182,26 +195,43 @@ def run_soa(sim: "HPCSimulator") -> ScheduleResult:
     # -- event calendar -------------------------------------------------
     # Static adds replay the object engine's push order exactly, so the
     # sequence numbers — the tie-break of last resort — are identical.
-    cal = ArrayCalendar()
-    for i, job in enumerate(jobs):
-        cal.add_static(job.submit_time, EventKind.ARRIVAL, i)
     trace = sim.disruptions if sim.disruptions else None
     disrupted = trace is not None
-    if trace is not None:
-        for idx, failure in enumerate(trace.failures):
-            cal.add_static(failure.time, EventKind.NODE_FAILURE, idx)
-            cal.add_static(failure.repair_time, EventKind.NODE_REPAIR, idx)
-        for idx, shock in enumerate(trace.domain_failures):
-            cal.add_static(shock.time, EventKind.DOMAIN_FAILURE, idx)
-            cal.add_static(shock.repair_time, EventKind.DOMAIN_REPAIR, idx)
-        for idx, drain in enumerate(trace.drains):
-            if drain.announce_time < drain.start:
+    if calendar is not None:
+        expected = n_jobs
+        if trace is not None:
+            expected += 2 * len(trace.failures)
+            expected += 2 * len(trace.domain_failures)
+            for drain in trace.drains:
+                expected += 3 if drain.announce_time < drain.start else 2
+        if len(calendar) != expected:
+            raise ValueError(
+                f"prebuilt calendar holds {len(calendar)} pending "
+                f"event(s); this simulation needs exactly {expected} "
+                "(one ARRIVAL per job plus the disruption schedule)"
+            )
+        cal = calendar
+    else:
+        cal = ArrayCalendar()
+        for i, job in enumerate(jobs):
+            cal.add_static(job.submit_time, EventKind.ARRIVAL, i)
+        if trace is not None:
+            for idx, failure in enumerate(trace.failures):
+                cal.add_static(failure.time, EventKind.NODE_FAILURE, idx)
                 cal.add_static(
-                    drain.announce_time, EventKind.DRAIN_ANNOUNCE, idx
+                    failure.repair_time, EventKind.NODE_REPAIR, idx
                 )
-            cal.add_static(drain.start, EventKind.DRAIN_START, idx)
-            cal.add_static(drain.end, EventKind.DRAIN_END, idx)
-    cal.seal()
+            for idx, shock in enumerate(trace.domain_failures):
+                cal.add_static(shock.time, EventKind.DOMAIN_FAILURE, idx)
+                cal.add_static(shock.repair_time, EventKind.DOMAIN_REPAIR, idx)
+            for idx, drain in enumerate(trace.drains):
+                if drain.announce_time < drain.start:
+                    cal.add_static(
+                        drain.announce_time, EventKind.DRAIN_ANNOUNCE, idx
+                    )
+                cal.add_static(drain.start, EventKind.DRAIN_START, idx)
+                cal.add_static(drain.end, EventKind.DRAIN_END, idx)
+        cal.seal()
 
     # Hoisted event-kind codes (popped events carry plain ints).
     K_COMPLETION = int(EventKind.COMPLETION)

@@ -1,0 +1,211 @@
+"""Session engine: streaming arrivals, byte-identity, memoization.
+
+The serving invariant (ISSUE 8): for the jobs known at query time, a
+session's served schedule is **byte-identical** to batch
+``run_single`` over those jobs — records, decisions, preemptions, and
+metric floats all hash equal at full precision. These tests stream the
+exact workloads the batch reference generates, in chunks, and compare
+SHA-256 digests.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_single
+from repro.service.protocol import schedule_digest
+from repro.service.session import Session, SessionConfig, SessionError
+from repro.sim.job import Job
+from repro.workloads.generator import generate_workload
+
+
+def stream_session(
+    jobs, scheduler: str, scheduler_seed: int, chunk: int
+) -> Session:
+    session = Session(
+        "t", SessionConfig(scheduler=scheduler, scheduler_seed=scheduler_seed)
+    )
+    ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+    for i in range(0, len(ordered), chunk):
+        session.append_jobs(ordered[i:i + chunk])
+    return session
+
+
+def session_digest(session: Session) -> str:
+    result, metrics = session.ensure_result()
+    return schedule_digest(result, metrics)
+
+
+def batch_digest(scenario, n, scheduler, wseed, sseed) -> str:
+    run = run_single(
+        scenario,
+        n,
+        scheduler,
+        workload_seed=wseed,
+        scheduler_seed=sseed,
+    )
+    return schedule_digest(run.result, run.metrics.as_dict())
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "scheduler,sseed",
+        [
+            ("fcfs", 0),
+            ("fcfs_backfill", 0),
+            ("sjf", 0),
+            ("largest_first", 0),
+            ("random", 3),
+        ],
+    )
+    def test_streamed_session_equals_batch(self, scheduler, sseed):
+        scenario, n, wseed = "heterogeneous_mix", 40, 2
+        jobs = generate_workload(scenario, n, seed=wseed)
+        session = stream_session(jobs, scheduler, sseed, chunk=7)
+        assert session_digest(session) == batch_digest(
+            scenario, n, scheduler, wseed, sseed
+        )
+
+    def test_chunk_size_is_irrelevant(self):
+        jobs = generate_workload("adversarial", 30, seed=1)
+        digests = {
+            session_digest(stream_session(jobs, "sjf", 0, chunk))
+            for chunk in (1, 4, 30)
+        }
+        assert len(digests) == 1
+
+    def test_growing_session_tracks_growing_batch(self):
+        # After every appended chunk the session must equal the batch
+        # reference over the jobs known so far — the streaming contract
+        # is not just a statement about the final state.
+        jobs = sorted(
+            generate_workload("bursty_idle", 24, seed=4),
+            key=lambda j: (j.submit_time, j.job_id),
+        )
+        session = Session("t", SessionConfig(scheduler="fcfs"))
+        for i in range(0, len(jobs), 8):
+            session.append_jobs(jobs[i:i + 8])
+            batch = run_single(
+                "bursty_idle", 24, "fcfs", jobs=jobs[: i + 8]
+            )
+            assert session_digest(session) == schedule_digest(
+                batch.result, batch.metrics.as_dict()
+            )
+
+
+class TestMemoization:
+    def test_one_simulation_per_generation(self):
+        jobs = generate_workload("homogeneous_short", 12, seed=0)
+        session = stream_session(jobs, "fcfs", 0, chunk=12)
+        d1 = session_digest(session)
+        d2 = session_digest(session)
+        d3 = session_digest(session)
+        assert d1 == d2 == d3
+        assert session.n_runs == 1
+        assert session.n_result_reuses == 2
+
+    def test_append_invalidates_memo(self):
+        jobs = sorted(
+            generate_workload("homogeneous_short", 12, seed=0),
+            key=lambda j: (j.submit_time, j.job_id),
+        )
+        session = Session("t", SessionConfig(scheduler="fcfs"))
+        session.append_jobs(jobs[:6])
+        session.ensure_result()
+        session.append_jobs(jobs[6:])
+        session.ensure_result()
+        assert session.generation == 2
+        assert session.n_runs == 2
+
+    def test_stats_shape(self):
+        jobs = generate_workload("homogeneous_short", 8, seed=0)
+        session = stream_session(jobs, "fcfs", 0, chunk=8)
+        session.ensure_result()
+        assert session.stats() == {
+            "n_jobs": 8,
+            "generation": 1,
+            "n_runs": 1,
+            "n_result_reuses": 0,
+        }
+
+
+class TestStreamingContract:
+    def job(self, job_id, submit):
+        return Job(
+            job_id=job_id,
+            submit_time=submit,
+            duration=10.0,
+            nodes=1,
+            memory_gb=4.0,
+        )
+
+    def test_empty_batch_rejected(self):
+        session = Session("t")
+        with pytest.raises(SessionError, match="at least one job"):
+            session.append_jobs([])
+
+    def test_out_of_order_batch_rejected(self):
+        session = Session("t")
+        with pytest.raises(SessionError, match="strictly newer"):
+            session.append_jobs([self.job(1, 5.0), self.job(2, 3.0)])
+
+    def test_stale_arrival_rejected_across_batches(self):
+        session = Session("t")
+        session.append_jobs([self.job(1, 5.0)])
+        with pytest.raises(SessionError, match="strictly newer"):
+            session.append_jobs([self.job(2, 4.0)])
+
+    def test_tied_time_requires_increasing_ids(self):
+        session = Session("t")
+        session.append_jobs([self.job(5, 1.0)])
+        with pytest.raises(SessionError, match="strictly newer"):
+            session.append_jobs([self.job(3, 1.0)])
+        session.append_jobs([self.job(6, 1.0)])
+        assert session.n_jobs == 2
+
+    def test_duplicate_job_id_rejected(self):
+        session = Session("t")
+        session.append_jobs([self.job(1, 1.0)])
+        with pytest.raises(SessionError, match="duplicate job id"):
+            session.append_jobs([self.job(1, 2.0)])
+
+    def test_rejected_batch_changes_nothing(self):
+        session = Session("t")
+        session.append_jobs([self.job(1, 1.0)])
+        generation = session.generation
+        with pytest.raises(SessionError):
+            # First job of the batch is valid; the second is not. The
+            # whole batch must be rolled back (never applied).
+            session.append_jobs([self.job(2, 2.0), self.job(3, 0.5)])
+        assert session.n_jobs == 1
+        assert session.generation == generation
+        session.append_jobs([self.job(2, 2.0)])
+        assert session.n_jobs == 2
+
+    def test_query_before_any_jobs_rejected(self):
+        session = Session("t")
+        with pytest.raises(SessionError, match="no jobs"):
+            session.ensure_result()
+
+
+class TestIsolation:
+    def test_sessions_do_not_share_state(self):
+        # Two sessions over the same workload but different schedulers
+        # must each equal their own batch reference — running them
+        # interleaved is the in-process version of the server's
+        # session-isolation guarantee.
+        jobs = sorted(
+            generate_workload("heterogeneous_mix", 30, seed=7),
+            key=lambda j: (j.submit_time, j.job_id),
+        )
+        a = Session("a", SessionConfig(scheduler="fcfs"))
+        b = Session("b", SessionConfig(scheduler="sjf"))
+        for i in range(0, len(jobs), 10):
+            a.append_jobs(jobs[i:i + 10])
+            b.append_jobs(jobs[i:i + 10])
+            a.ensure_result()
+            b.ensure_result()
+        assert session_digest(a) == batch_digest(
+            "heterogeneous_mix", 30, "fcfs", 7, 0
+        )
+        assert session_digest(b) == batch_digest(
+            "heterogeneous_mix", 30, "sjf", 7, 0
+        )
