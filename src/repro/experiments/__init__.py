@@ -21,6 +21,12 @@ from repro.experiments.runner import (
     run_matrix,
     run_single,
 )
+from repro.experiments.storage import (
+    ShardedStore,
+    StoreBackend,
+    open_store,
+    store_digest,
+)
 from repro.experiments.store import SCHEMA_VERSION, RunStore, StoredRun
 
 __all__ = [
@@ -30,10 +36,14 @@ __all__ = [
     "OverheadSummary",
     "RunStore",
     "SCHEMA_VERSION",
+    "ShardedStore",
+    "StoreBackend",
     "StoredRun",
     "expand_cells",
+    "open_store",
     "run_cells",
     "run_matrix",
     "run_matrix_parallel",
     "run_single",
+    "store_digest",
 ]

@@ -33,6 +33,13 @@ of the three hot paths this project optimizes:
   SWF-round-tripped trace replays (``workloads/swf.py`` → simulate) as
   routine cells. ``growth_ratio`` (µs/event at N ÷ at the smallest
   cell) is the flat-to-sublinear scaling acceptance number.
+* **storage** — keyed-query cost on a synthetic 100k-cell archive,
+  measured cold (fresh store object, no parsed-file cache) against
+  both layouts: the single-file JSONL store (a full-file parse per
+  cold query) and the sharded store (a single-shard parse via the
+  key-hash route). ``query_speedup`` (JSONL ÷ sharded cold-query
+  wall) is the acceptance number for the sharded store's point-query
+  claim; migration wall-clock rides along.
 
 Regression tracking: :func:`compare_to_baseline` diffs a fresh report
 against a committed baseline (e.g. ``BENCH_PR2.json``) and returns the
@@ -160,6 +167,14 @@ class BenchConfig:
     swf_replay_cells: tuple[tuple[int, float], ...] = (
         (2_000, 2.0), (40_000, 30.0),
     )
+    #: Storage cell: synthetic archive size and shard count for the
+    #: cold keyed-query comparison (JSONL full-file parse vs sharded
+    #: single-shard parse). The archive is built directly from
+    #: serialized lines — the section measures the read path, not
+    #: fsync-per-append write amplification.
+    storage_cells: int = 100_000
+    storage_shards: int = 64
+    storage_queries: int = 5
     seed: int = 0
 
     @classmethod
@@ -186,6 +201,11 @@ class BenchConfig:
             # full-profile-only.
             scaling_sizes=(10_000,),
             swf_replay_cells=((2_000, 2.0),),
+            # The storage cell keeps its full 100k size in the quick
+            # profile: it is the PR-9 acceptance-tracking measurement
+            # (cold keyed query on a 100k-cell archive) and the cell
+            # key embeds the size, so shrinking it would silently
+            # decouple CI from the committed baseline.
         )
 
 
@@ -682,6 +702,99 @@ def bench_scaling(cfg: BenchConfig) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 #: Every bench section, in run order, with its progress note.
+# ---------------------------------------------------------------------------
+# storage: cold keyed-query cost, JSONL full parse vs sharded shard parse
+# ---------------------------------------------------------------------------
+
+def _synthetic_archive(path, n_cells: int) -> None:
+    """Write *n_cells* distinct-key store lines in one shot (the
+    section benches reads; fsync-per-append would dominate a real
+    append loop and measure the wrong thing)."""
+    from repro.experiments.store import StoredRun
+
+    lines = []
+    for i in range(n_cells):
+        lines.append(StoredRun(
+            scenario="heterogeneous_mix",
+            n_jobs=100,
+            scheduler="fcfs",
+            workload_seed=i,
+            scheduler_seed=0,
+            metrics={"makespan": 1000.0 + i, "avg_wait_time": 5.0},
+            decision_summary={},
+            overhead=None,
+        ).to_json())
+    path.write_text("\n".join(lines) + "\n")
+
+
+def bench_storage(cfg: BenchConfig) -> dict[str, Any]:
+    """Cold keyed queries against both store layouts.
+
+    Each probe opens a *fresh* store object (no parsed-file cache) and
+    runs one fully-pinned ``iter_runs`` query — the single-file store
+    must parse the whole archive, the sharded store only the owning
+    shard. The reported ``query_speedup`` is the dimensionless
+    acceptance number; absolute per-query wall rides along for eyes.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.store import RunStore
+    from repro.experiments.storage import ShardedStore, migrate_to_sharded
+
+    n = cfg.storage_cells
+    with tempfile.TemporaryDirectory(prefix="bench-storage-") as td:
+        root = Path(td)
+        jsonl = root / "runs.jsonl"
+        _synthetic_archive(jsonl, n)
+
+        t0 = time.perf_counter()
+        migrate_to_sharded(
+            jsonl, root / "runs.store", n_shards=cfg.storage_shards
+        )
+        migrate_wall = time.perf_counter() - t0
+
+        # Probe keys spread across the archive ends and middle.
+        n_probes = max(cfg.storage_queries, 1)
+        probe_seeds = sorted({
+            int(i * (n - 1) / max(n_probes - 1, 1))
+            for i in range(n_probes)
+        })
+
+        def cold_query_s(make_store) -> float:
+            total = 0.0
+            for seed in probe_seeds:
+                store = make_store()
+                where = {
+                    "scenario": "heterogeneous_mix",
+                    "n_jobs": 100,
+                    "scheduler": "fcfs",
+                    "workload_seed": seed,
+                    "scheduler_seed": 0,
+                    "arrival_mode": "scenario",
+                    "disruption_sig": "none",
+                    "topology_sig": "flat",
+                }
+                t0 = time.perf_counter()
+                hits = list(store.iter_runs(where))
+                total += time.perf_counter() - t0
+                assert len(hits) == 1, f"probe seed {seed} missed"
+            return total / len(probe_seeds)
+
+        jsonl_s = cold_query_s(lambda: RunStore(jsonl))
+        sharded_s = cold_query_s(lambda: ShardedStore(root / "runs.store"))
+
+    return {
+        "n_cells": n,
+        "n_shards": cfg.storage_shards,
+        "n_queries": len(probe_seeds),
+        "migrate_wall_s": round(migrate_wall, 3),
+        "jsonl_query_ms": round(jsonl_s * 1e3, 3),
+        "sharded_query_ms": round(sharded_s * 1e3, 3),
+        "query_speedup": round(jsonl_s / sharded_s, 2),
+    }
+
+
 BENCH_SECTIONS: dict[str, tuple[Callable[[BenchConfig], Any], str]] = {
     "replan_event": (
         bench_replan_event, "incremental vs naive replanning",
@@ -706,6 +819,9 @@ BENCH_SECTIONS: dict[str, tuple[Callable[[BenchConfig], Any], str]] = {
     ),
     "sweep": (
         bench_sweep, "serial mini-matrix wall clock",
+    ),
+    "storage": (
+        bench_storage, "cold keyed query: jsonl scan vs sharded parse",
     ),
 }
 
@@ -844,6 +960,17 @@ def _flatten(report: dict[str, Any]) -> dict[str, float]:
     sweep = metrics.get("sweep", {})
     if "wall_s" in sweep:
         flat[f"sweep[{sweep.get('cells')}].wall_s"] = float(sweep["wall_s"])
+    sto = metrics.get("storage", {})
+    if sto:
+        base = f"storage[{sto.get('n_cells')}x{sto.get('n_shards')}]"
+        for key in (
+            "jsonl_query_ms",
+            "sharded_query_ms",
+            "query_speedup",
+            "migrate_wall_s",
+        ):
+            if key in sto:
+                flat[f"{base}.{key}"] = float(sto[key])
     return flat
 
 
@@ -1016,6 +1143,17 @@ def render_report(report: dict[str, Any]) -> str:
         lines += [
             "",
             f"serial sweep: {sweep['cells']} cells in {sweep['wall_s']:.2f}s",
+        ]
+    sto = m.get("storage")
+    if sto:
+        lines += [
+            "",
+            f"storage ({sto['n_cells']} cells, {sto['n_shards']} shards, "
+            f"{sto['n_queries']} cold keyed queries):",
+            f"  jsonl {sto['jsonl_query_ms']:.1f} ms/query vs sharded "
+            f"{sto['sharded_query_ms']:.1f} ms/query "
+            f"(x{sto['query_speedup']:.1f}); migrate "
+            f"{sto['migrate_wall_s']:.2f}s",
         ]
     return "\n".join(lines)
 

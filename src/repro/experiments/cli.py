@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments import figures, report
 from repro.experiments.parallel import expand_cells, run_matrix_parallel
 from repro.experiments.runner import DEFAULT_SCHEDULERS, run_single
-from repro.experiments.store import FailedCell, RunStore
+from repro.experiments.store import FailedCell
+from repro.experiments.storage import open_store
 from repro.metrics.normalize import normalize_to_baseline
 from repro.schedulers.registry import available_schedulers
 from repro.sim.disruptions import (
@@ -405,7 +407,32 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument(
         "--out",
         default=None,
-        help="JSONL artifact store path; each run streams in on completion",
+        help=(
+            "artifact store path (JSONL file or sharded directory); "
+            "each run streams in on completion"
+        ),
+    )
+    pm.add_argument(
+        "--store-format",
+        choices=["jsonl", "sharded"],
+        default=None,
+        help=(
+            "layout for a store created at --out: one JSONL file "
+            "(default) or a cell-key-hash sharded directory — pooled "
+            "workers then write their own shards concurrently and "
+            "keyed report queries parse one shard, not the archive. "
+            "An existing store's on-disk layout always wins."
+        ),
+    )
+    pm.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard count when creating a sharded store (default 16; "
+            "fixed at creation — needs --store-format sharded)"
+        ),
     )
     pm.add_argument(
         "--resume",
@@ -466,28 +493,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_disruption_args(pm)
 
     ps = sub.add_parser(
-        "report", help="render normalized metrics from a JSONL artifact store"
+        "report", help="render normalized metrics from an artifact store"
     )
-    ps.add_argument("--store", required=True, help="path written by matrix --out")
+    ps.add_argument(
+        "--store", required=True,
+        help="path written by matrix --out (JSONL file or sharded dir)",
+    )
+    ps.add_argument(
+        "--where",
+        action="append",
+        default=None,
+        metavar="FIELD=VALUE",
+        help=(
+            "identity filter, repeatable (e.g. --where "
+            "scenario=adversarial --where n_jobs=60); pushed down to "
+            "the store backend — a fully-pinned key is answered from "
+            "one shard on a sharded store, never a full scan"
+        ),
+    )
 
     pst = sub.add_parser(
         "store",
-        help="artifact-store maintenance (doctor: salvage a corrupted file)",
+        help=(
+            "artifact-store maintenance (doctor: salvage; migrate: "
+            "convert layouts; digest: content identity)"
+        ),
     )
     store_sub = pst.add_subparsers(dest="store_command", required=True)
     pdoc = store_sub.add_parser(
         "doctor",
         help="salvage every parseable line from a corrupted store",
         description=(
-            "Repair a JSONL artifact store in place: every parseable "
+            "Repair an artifact store in place: every parseable "
             "line is kept byte-for-byte, every unparseable line moves "
             "to <store>.quarantine prefixed with its original line "
             "number, and the report says which cells were lost (they "
-            "simply re-run under matrix --resume). The rewrite is "
-            "atomic; a healthy store is left untouched."
+            "simply re-run under matrix --resume). On a sharded store "
+            "the same treatment runs per shard, plus a missing or "
+            "unreadable MANIFEST.json is rebuilt from the shard files. "
+            "Rewrites are atomic; a healthy store is left untouched."
         ),
     )
-    pdoc.add_argument("path", help="store file written by matrix --out")
+    pdoc.add_argument(
+        "path", help="store written by matrix --out (file or sharded dir)"
+    )
     pdoc.add_argument(
         "--dry-run",
         action="store_true",
@@ -503,6 +552,41 @@ def build_parser() -> argparse.ArgumentParser:
             "is unchanged, the file just stops carrying dead data"
         ),
     )
+    pmig = store_sub.add_parser(
+        "migrate",
+        help="convert a store between JSONL and sharded layouts",
+        description=(
+            "Loss-free layout conversion: a JSONL file splits into a "
+            "fresh sharded directory (lines verbatim, routed by cell-"
+            "key hash, original order recorded in a sidecar); a "
+            "sharded store merges back into one JSONL file — byte-"
+            "identical to the original when the order sidecar still "
+            "matches, load()-identical otherwise. v1-v3 lines cross "
+            "untouched. The direction is inferred from the source "
+            "layout; the destination must not already exist."
+        ),
+    )
+    pmig.add_argument("src", help="existing store (file or sharded dir)")
+    pmig.add_argument("dest", help="fresh path for the converted store")
+    pmig.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count when splitting to sharded (default 16)",
+    )
+    pdig = store_sub.add_parser(
+        "digest",
+        help="print the store's layout-independent content digest",
+        description=(
+            "SHA-256 over the canonically-ordered run set — equal for "
+            "two stores exactly when load() resolves the same runs, "
+            "regardless of layout, line order, or superseded "
+            "duplicates. The CI storage gate compares this across "
+            "serial-JSONL and parallel-sharded sweeps."
+        ),
+    )
+    pdig.add_argument("path", help="store (file or sharded dir)")
 
     pb = sub.add_parser(
         "bench",
@@ -605,9 +689,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=None,
         help=(
-            "JSONL artifact store backing the cell result cache; "
-            "cells already persisted are served without simulating, "
-            "new cells are appended (shareable with matrix --out)"
+            "artifact store backing the cell result cache (JSONL file "
+            "or sharded dir); cells already persisted are served "
+            "without simulating, new cells are appended (shareable "
+            "with matrix --out)"
+        ),
+    )
+    pv.add_argument(
+        "--store-format",
+        choices=["jsonl", "sharded"],
+        default=None,
+        help=(
+            "layout for a store created at --store (an existing "
+            "store's on-disk layout always wins)"
         ),
     )
     pv.add_argument(
@@ -656,7 +750,7 @@ def _matrix_retry_failed(args) -> int:
     )
     from repro.experiments.store import FailureSidecar
 
-    store = RunStore(args.retry_failed)
+    store = open_store(args.retry_failed)
     sidecar = FailureSidecar.for_store(store)
     if not sidecar.path.exists():
         print(f"nothing to retry: no failure sidecar at {sidecar.path}")
@@ -886,7 +980,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.resume and not args.out:
             print("error: --resume requires --out", file=sys.stderr)
             return 2
-        store = RunStore(args.out) if args.out else None
+        if args.shards is not None and args.store_format != "sharded":
+            print(
+                "error: --shards needs --store-format sharded",
+                file=sys.stderr,
+            )
+            return 2
+        store = None
+        if args.out:
+            try:
+                store = open_store(
+                    args.out,
+                    format=args.store_format,
+                    n_shards=args.shards,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         try:
             disruption_spec = _build_disruption_spec(args)
             topology = _build_topology(args)
@@ -987,10 +1097,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if store is not None:
             fresh = {r.key for r in runs}
             wanted = {c.key for c in cells}
-            source += [
-                s for s in store.load(on_corrupt="quarantine")
-                if s.key in wanted and s.key not in fresh
-            ]
+            # Keyed backend query: only the wanted cells come back (on
+            # a sharded store, only their shards are even parsed).
+            source += list(
+                store.iter_runs(
+                    keys=wanted - fresh, on_corrupt="quarantine"
+                )
+            )
         if source:
             print(report.render_matrix_blocks(figures.matrix_blocks(source)))
         if failures:
@@ -1007,7 +1120,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             if store is not None:
                 print(
-                    f"details in {store.path}.failures; the quarantined "
+                    f"details in {store.sidecar_path}; the quarantined "
                     "cells are not persisted and will re-run under "
                     "--resume",
                     file=sys.stderr,
@@ -1065,22 +1178,89 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "store":
-        # Only one store subcommand today; argparse enforces it.
-        assert args.store_command == "doctor"
-        store = RunStore(args.path)
-        if not store.path.exists():
+        from repro.experiments.storage import (
+            DEFAULT_SHARDS,
+            detect_format,
+            migrate_to_jsonl,
+            migrate_to_sharded,
+            store_digest,
+        )
+
+        if args.store_command == "doctor":
+            if not Path(args.path).exists():
+                print(f"error: no store at {args.path}", file=sys.stderr)
+                return 2
+            store = open_store(args.path)
+            doc = store.doctor(dry_run=args.dry_run, dedupe=args.dedupe)
+            print(doc.summary())
+            return 0 if doc.clean else 1
+
+        if args.store_command == "migrate":
+            try:
+                src_format = detect_format(args.src)
+                if src_format == "sharded":
+                    if args.shards is not None:
+                        print(
+                            "error: --shards applies when splitting "
+                            "jsonl -> sharded, not merging back",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    rep = migrate_to_jsonl(args.src, args.dest)
+                else:
+                    rep = migrate_to_sharded(
+                        args.src,
+                        args.dest,
+                        n_shards=(
+                            args.shards
+                            if args.shards is not None
+                            else DEFAULT_SHARDS
+                        ),
+                    )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(rep.summary())
+            return 0
+
+        assert args.store_command == "digest"
+        if not Path(args.path).exists():
             print(f"error: no store at {args.path}", file=sys.stderr)
             return 2
-        doc = store.doctor(dry_run=args.dry_run, dedupe=args.dedupe)
-        print(doc.summary())
-        return 0 if doc.clean else 1
+        try:
+            print(store_digest(open_store(args.path)))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
 
     if args.command == "report":
-        stored = RunStore(args.store).load()
-        if not stored:
+        where = None
+        if args.where:
+            where = {}
+            for item in args.where:
+                field, sep, value = item.partition("=")
+                if not sep or not field:
+                    print(
+                        f"error: bad --where {item!r} (expected "
+                        "FIELD=VALUE)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                where[field] = value
+        try:
+            blocks = figures.store_blocks(
+                open_store(args.store), where=where
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not blocks:
             print(f"no runs in {args.store}", file=sys.stderr)
             return 1
-        print(report.render_matrix_blocks(figures.matrix_blocks(stored)))
+        if where:
+            print(f"== {report.describe_where(where)}\n")
+        print(report.render_matrix_blocks(blocks))
         return 0
 
     if args.command == "run":
@@ -1180,6 +1360,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     host=args.host,
                     port=args.port,
                     store_path=args.store,
+                    store_format=args.store_format,
                     workers=args.workers,
                     cache_size=args.cache_size,
                     ready=ready,

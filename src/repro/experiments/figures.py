@@ -132,6 +132,28 @@ def matrix_blocks(
         }
     return out
 
+def store_blocks(
+    store,
+    *,
+    where: Optional[dict] = None,
+    keys=None,
+    baseline: str = BASELINE,
+    on_corrupt: str = "raise",
+) -> dict[InstanceKey, dict[str, dict[str, float]]]:
+    """Normalized figure blocks straight from a run archive.
+
+    The store-backed counterpart of :func:`matrix_blocks`: *store* is
+    any ``StoreBackend`` (single-file or sharded), and rows come from
+    its ``iter_runs(where=..., keys=...)`` query — identity filters
+    are pushed down to the backend, where a sharded store prunes to
+    the owning shards instead of scanning the whole archive. Filter
+    semantics (and ``on_corrupt``) are the backend's; the
+    normalization is :func:`matrix_blocks` unchanged.
+    """
+    runs = list(store.iter_runs(where, keys=keys, on_corrupt=on_corrupt))
+    return matrix_blocks(runs, baseline=baseline)
+
+
 def _normalized_block(
     runs: Mapping[str, ExperimentRun]
 ) -> dict[str, dict[str, float]]:

@@ -56,10 +56,10 @@ from repro.experiments.store import (
     CellKey,
     FailedCell,
     FailureSidecar,
-    RunStore,
     cell_key,
     cell_key_str,
 )
+from repro.experiments.storage import ShardedStore, StoreBackend, open_store
 from repro.schedulers.registry import supports_anneal_window
 from repro.sim.disruptions import DisruptionSpec, disruption_signature
 from repro.sim.topology import ClusterTopology, topology_signature
@@ -263,6 +263,36 @@ def _worker_init() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
+#: Per-process cache of open sharded stores for worker-side appends —
+#: keeps each worker's manifest read and per-shard parsed caches warm
+#: across the cells it executes.
+_WORKER_STORES: dict[str, ShardedStore] = {}
+
+
+def _execute_and_store_cell(
+    cell: MatrixCell, attempt: int, store_path: str
+) -> ExperimentRun:
+    """Worker entry point for sharded stores: simulate one cell, then
+    persist it **from inside the worker** into the cell's own shard.
+
+    This is what makes sharded pooled sweeps truly concurrent writers:
+    each worker appends directly to the shard its cell's key hashes
+    to, under that shard's lock only — workers on different shards
+    never serialize against each other, and the parent's funnel (every
+    result crossing back before any byte is written) is gone. Safe
+    because a key's shard assignment is process-independent and
+    last-write-wins per key is per-shard; a retried cell that already
+    landed just supersedes itself with identical bytes.
+    """
+    run = _execute_cell(cell, attempt)
+    store = _WORKER_STORES.get(store_path)
+    if store is None:
+        store = ShardedStore(store_path)
+        _WORKER_STORES[store_path] = store
+    store.append(run)
+    return run
+
+
 def _execute_cell(cell: MatrixCell, attempt: int = 1) -> ExperimentRun:
     """Worker entry point: simulate one cell (top-level for pickling).
 
@@ -342,7 +372,7 @@ def run_cells(
     cells: Sequence[MatrixCell],
     *,
     workers: Optional[int] = None,
-    store: Optional[Union[RunStore, str, Path]] = None,
+    store: Optional[Union[StoreBackend, str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
     cell_timeout: Optional[float] = None,
@@ -392,7 +422,7 @@ def run_cells(
             f"unknown on_cell_failure policy: {on_cell_failure!r}"
         )
     if isinstance(store, (str, Path)):
-        store = RunStore(store)
+        store = open_store(store)
     if resume and store is None:
         raise ValueError("resume=True requires a store")
 
@@ -407,9 +437,11 @@ def run_cells(
     attempts = [0] * len(pending)
     sidecar = FailureSidecar.for_store(store) if store is not None else None
 
-    def record(index: int, run: ExperimentRun) -> None:
+    def record(
+        index: int, run: ExperimentRun, *, persisted: bool = False
+    ) -> None:
         results[index] = run
-        if store is not None:
+        if store is not None and not persisted:
             store.append(run)
         if progress is not None:
             progress(pending[index], len(results), len(pending))
@@ -446,10 +478,20 @@ def run_cells(
             max_retries=max_retries, retry_backoff_s=retry_backoff_s,
         )
     else:
+        # Sharded stores flip the write path: workers persist their
+        # own cells into per-shard files (no parent funnel, no
+        # cross-shard contention); the parent only does accounting.
+        # The manifest is written up front so every worker reads one
+        # agreed shard count.
+        worker_store_path: Optional[str] = None
+        if isinstance(store, ShardedStore):
+            store.ensure_initialized()
+            worker_store_path = str(store.path)
         _run_pooled(
             pending, attempts, results, failed, record, exhaust,
             n_workers=n_workers, cell_timeout=cell_timeout,
             max_retries=max_retries, retry_backoff_s=retry_backoff_s,
+            worker_store_path=worker_store_path,
         )
     return [results[i] for i in range(len(pending)) if i in results]
 
@@ -489,11 +531,18 @@ def _run_pooled(
     pending, attempts, results, failed, record, exhaust,
     *, n_workers: int, cell_timeout: Optional[float],
     max_retries: int, retry_backoff_s: float,
+    worker_store_path: Optional[str] = None,
 ) -> None:
     """The fault-tolerant pool loop: windowed submission (at most
     *n_workers* cells in flight, so a submitted cell starts
     immediately and its deadline clock is honest), a watchdog over
-    per-cell deadlines, and pool rebuilds on breakage."""
+    per-cell deadlines, and pool rebuilds on breakage.
+
+    With *worker_store_path* (a sharded store), workers persist their
+    own cells (:func:`_execute_and_store_cell`) and ``record`` runs
+    with ``persisted=True`` — accounting only, no parent-side append.
+    """
+    persisted = worker_store_path is not None
     queue: deque[int] = deque(range(len(pending)))
     ready_at: dict[int, float] = {}
     inflight: dict = {}
@@ -529,7 +578,7 @@ def _run_pooled(
         _kill_pool(pool)
         for fut, i in list(inflight.items()):
             if fut.done() and not fut.cancelled() and fut.exception() is None:
-                record(i, fut.result())
+                record(i, fut.result(), persisted=persisted)
             else:
                 requeue(i, charged=False)
         inflight.clear()
@@ -551,7 +600,13 @@ def _run_pooled(
                 i = queue.popleft()
                 att = attempts[i] + 1
                 try:
-                    fut = pool.submit(_execute_cell, pending[i], att)
+                    if persisted:
+                        fut = pool.submit(
+                            _execute_and_store_cell, pending[i], att,
+                            worker_store_path,
+                        )
+                    else:
+                        fut = pool.submit(_execute_cell, pending[i], att)
                 except BrokenExecutor:
                     # The pool died between batches; put the cell back
                     # (uncharged — it never ran) and rebuild.
@@ -598,7 +653,7 @@ def _run_pooled(
                 deadlines.pop(fut, None)
                 exc = fut.exception()
                 if exc is None:
-                    record(i, fut.result())
+                    record(i, fut.result(), persisted=persisted)
                 elif isinstance(exc, BrokenExecutor):
                     # The worker died without a goodbye (OOM kill,
                     # segfault, os._exit): the pool is toast.
@@ -654,7 +709,7 @@ def _run_pooled(
                 and not fut.cancelled()
                 and fut.exception() is None
             ):
-                record(i, fut.result())
+                record(i, fut.result(), persisted=persisted)
                 salvaged += 1
         _kill_pool(pool)
         cancelled = len(pending) - len(results) - len(failed)
@@ -688,7 +743,7 @@ def run_matrix_parallel(
     anneal_window: Optional[int] = None,
     engine: str = "soa",
     workers: Optional[int] = None,
-    store: Optional[Union[RunStore, str, Path]] = None,
+    store: Optional[Union[StoreBackend, str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
     cell_timeout: Optional[float] = None,
@@ -710,8 +765,12 @@ def run_matrix_parallel(
     workers:
         Pool size; ``None`` uses every core, ``1`` runs inline.
     store:
-        Optional :class:`RunStore` (or path) that receives each
-        completed run as one JSONL line, immediately on completion.
+        Optional store backend (or path, opened via
+        :func:`~repro.experiments.storage.open_store`) that receives
+        each completed run as one JSONL line, immediately on
+        completion. With a :class:`ShardedStore` and ``workers >= 2``,
+        pooled workers write their own cells straight into per-shard
+        files — concurrent writers with no cross-shard contention.
     resume:
         Skip cells already persisted in *store*; only the remaining
         cells are executed (and returned).

@@ -127,6 +127,15 @@ def render_matrix_blocks(
     return "\n\n".join(parts)
 
 
+def describe_where(where: Mapping[str, object]) -> str:
+    """One-line human form of an ``iter_runs`` identity filter, for
+    report headers: ``filtered: scenario=adversarial, n_jobs=60``."""
+    if not where:
+        return ""
+    fields = ", ".join(f"{k}={v}" for k, v in sorted(where.items()))
+    return f"filtered: {fields}"
+
+
 def render_figure3(
     data: Mapping[str, Mapping[str, Mapping[str, float]]]
 ) -> str:

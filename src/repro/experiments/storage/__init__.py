@@ -1,0 +1,62 @@
+"""Unified storage API over the run-archive backends.
+
+Public surface:
+
+* :class:`StoreBackend` — the structural protocol every archive
+  implements (append / load / iter_runs / get / doctor / sidecar).
+* :func:`open_store` — the front door: sniffs the on-disk layout (or
+  honors an explicit ``format``) and returns the right backend.
+* :class:`ShardedStore` — cell-key-hash sharded directory layout for
+  million-run archives (single-shard keyed queries, concurrent
+  per-shard writers, compaction).
+* :func:`migrate_to_sharded` / :func:`migrate_to_jsonl` — loss-free
+  conversion between layouts, round-trippable byte-identically.
+* :func:`store_digest` — layout-blind content identity (the CI
+  serial-vs-sharded determinism pin).
+
+The single-file :class:`~repro.experiments.store.RunStore` stays where
+it always was; this package adds the protocol and the sharded layout
+on top without moving it.
+"""
+
+from repro.experiments.storage.backend import (
+    STORE_FORMATS,
+    StoreBackend,
+    detect_format,
+    is_sharded_store,
+    open_store,
+    store_digest,
+)
+from repro.experiments.storage.migrate import (
+    ORDER_NAME,
+    MigrationReport,
+    migrate_to_jsonl,
+    migrate_to_sharded,
+)
+from repro.experiments.storage.sharded import (
+    DEFAULT_SHARDS,
+    MANIFEST_NAME,
+    ShardedDoctorReport,
+    ShardedStore,
+    shard_index,
+    shard_name,
+)
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "MANIFEST_NAME",
+    "MigrationReport",
+    "ORDER_NAME",
+    "STORE_FORMATS",
+    "ShardedDoctorReport",
+    "ShardedStore",
+    "StoreBackend",
+    "detect_format",
+    "is_sharded_store",
+    "migrate_to_jsonl",
+    "migrate_to_sharded",
+    "open_store",
+    "shard_index",
+    "shard_name",
+    "store_digest",
+]

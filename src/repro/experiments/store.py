@@ -78,6 +78,61 @@ def cell_key_str(key: CellKey) -> str:
     return "|".join(str(part) for part in key)
 
 
+#: Fields an ``iter_runs(where=...)`` filter may name — exactly the
+#: cell-identity columns of a :class:`StoredRun`, in CellKey order.
+WHERE_FIELDS = (
+    "scenario",
+    "n_jobs",
+    "scheduler",
+    "workload_seed",
+    "scheduler_seed",
+    "arrival_mode",
+    "disruption_sig",
+    "topology_sig",
+)
+
+_INT_WHERE_FIELDS = frozenset(("n_jobs", "workload_seed", "scheduler_seed"))
+
+
+def normalize_where(
+    where: Optional[dict[str, Any]]
+) -> dict[str, Any]:
+    """Validate and coerce an ``iter_runs`` filter.
+
+    Unknown field names raise (a typo'd filter must not silently match
+    nothing); values are coerced to the column's type so string-typed
+    CLI input (``--where n_jobs=60``) compares equal to stored ints.
+    """
+    if not where:
+        return {}
+    unknown = sorted(set(where) - set(WHERE_FIELDS))
+    if unknown:
+        raise ValueError(
+            f"unknown where field(s): {', '.join(unknown)} "
+            f"(queryable fields: {', '.join(WHERE_FIELDS)})"
+        )
+    return {
+        name: (int(value) if name in _INT_WHERE_FIELDS else str(value))
+        for name, value in where.items()
+    }
+
+
+def where_key(where: dict[str, Any]) -> Optional[CellKey]:
+    """The full :data:`CellKey` when *where* pins every identity field
+    — the case a sharded store answers from one shard — else ``None``.
+    Expects an already-normalized filter."""
+    if set(where) != set(WHERE_FIELDS):
+        return None
+    return cell_key(*(where[name] for name in WHERE_FIELDS))
+
+
+def matches_where(run: "StoredRun", where: dict[str, Any]) -> bool:
+    """Whether *run*'s identity columns equal every filter value."""
+    return all(
+        getattr(run, name) == value for name, value in where.items()
+    )
+
+
 @dataclass(frozen=True)
 class StoredRun:
     """One persisted experiment cell: identity + measurements.
@@ -492,6 +547,53 @@ class RunStore:
         """Where :meth:`doctor` moves unparseable lines."""
         return self.path.with_name(self.path.name + ".quarantine")
 
+    @property
+    def sidecar_path(self) -> Path:
+        """Where this store's :class:`FailureSidecar` lives. Part of
+        the ``StoreBackend`` protocol — sidecar placement is a backend
+        decision (one file next to a JSONL store, a file *inside* a
+        sharded store's directory), so everything that writes or reads
+        failure records derives the path from the store, never from an
+        assumed file layout."""
+        return self.path.with_name(self.path.name + ".failures")
+
+    def iter_runs(
+        self,
+        where: Optional[dict[str, Any]] = None,
+        *,
+        keys: Optional[set[CellKey]] = None,
+        on_corrupt: str = "raise",
+    ) -> Iterator[StoredRun]:
+        """Query persisted runs by identity instead of scanning.
+
+        *where* filters on cell-identity columns (:data:`WHERE_FIELDS`;
+        values are type-coerced, unknown fields raise). *keys*
+        restricts to an explicit key set — what the matrix engine uses
+        to report exactly its own cells out of a shared archive. Both
+        compose. A *where* that pins **every** identity field resolves
+        through :meth:`get` — one dict lookup against the parsed-file
+        cache here, a single-shard parse on a sharded store — which is
+        what makes keyed queries on big archives cheap.
+
+        *on_corrupt* follows :meth:`load` semantics. Yields runs in the
+        backend's load order, last write per cell winning.
+        """
+        where = normalize_where(where)
+        full = where_key(where) if where else None
+        if full is not None and on_corrupt == "raise":
+            if keys is not None and full not in keys:
+                return
+            run = self.get(full)
+            if run is not None:
+                yield run
+            return
+        for run in self.load(on_corrupt=on_corrupt):
+            if keys is not None and run.key not in keys:
+                continue
+            if where and not matches_where(run, where):
+                continue
+            yield run
+
     def completed_keys(self) -> set[CellKey]:
         """Cell keys already persisted (what ``--resume`` skips)."""
         sig = self._stat_sig()
@@ -656,8 +758,12 @@ class FailureSidecar:
         self.path = Path(path)
 
     @classmethod
-    def for_store(cls, store: "RunStore") -> "FailureSidecar":
-        return cls(store.path.with_name(store.path.name + ".failures"))
+    def for_store(cls, store) -> "FailureSidecar":
+        """Sidecar for any ``StoreBackend`` — the path comes from the
+        backend's :attr:`sidecar_path`, so failure records follow the
+        store whatever its layout (next to a JSONL file, inside a
+        sharded store's directory) instead of assuming one file."""
+        return cls(store.sidecar_path)
 
     def append(self, failed: FailedCell) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)

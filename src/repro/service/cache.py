@@ -3,11 +3,12 @@
 Sweep-cell requests (``run_cell``) are pure functions of their
 :class:`~repro.experiments.store.CellKey`, so the service never needs
 to simulate the same cell twice: results are answered from a bounded
-in-memory LRU first, then from the backing
-:class:`~repro.experiments.store.RunStore` (one dict lookup against
-its parsed-file cache), and only on a genuine miss does a simulation
-run — whose result is written through to both tiers, so it survives a
-daemon restart.
+in-memory LRU first, then from the backing store — any
+:class:`~repro.experiments.storage.StoreBackend`; a ``get`` against a
+JSONL store is one dict lookup in its parsed-file cache, against a
+sharded store a single-shard parse — and only on a genuine miss does
+a simulation run, whose result is written through to both tiers, so
+it survives a daemon restart.
 
 The :class:`CacheStats` counters are the observable contract: the
 tests (and the CI smoke) assert that a repeated identical request
@@ -21,7 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.experiments.store import CellKey, RunStore, StoredRun
+from repro.experiments.store import CellKey, StoredRun
+from repro.experiments.storage import StoreBackend, open_store
 
 #: Default LRU capacity: enough for a full paper-scale sweep matrix
 #: to stay memory-resident, small enough to be harmless.
@@ -54,9 +56,14 @@ class CacheStats:
 
 @dataclass
 class ResultCache:
-    """Two-tier (memory LRU → RunStore) cell-result cache."""
+    """Two-tier (memory LRU → store backend) cell-result cache.
 
-    store: Optional[RunStore] = None
+    The persistent tier is any ``StoreBackend`` — the single-file
+    JSONL store or a sharded directory — reached through the protocol
+    only (``get``/``append``), so the service is layout-blind.
+    """
+
+    store: Optional[StoreBackend] = None
     max_entries: int = DEFAULT_CACHE_SIZE
     stats: CacheStats = field(default_factory=CacheStats)
     _lru: OrderedDict = field(default_factory=OrderedDict)
@@ -66,8 +73,15 @@ class ResultCache:
         cls,
         path: Optional[Union[str, Path]],
         max_entries: int = DEFAULT_CACHE_SIZE,
+        *,
+        format: Optional[str] = None,
     ) -> "ResultCache":
-        store = RunStore(path) if path is not None else None
+        """Cache over the archive at *path* — whatever backend is on
+        disk there (:func:`open_store` sniffing), or *format* for a
+        path that doesn't exist yet."""
+        store = (
+            open_store(path, format=format) if path is not None else None
+        )
         return cls(store=store, max_entries=max_entries)
 
     def lookup(

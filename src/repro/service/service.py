@@ -83,10 +83,13 @@ class SchedulingService:
         self,
         *,
         store_path: Optional[Union[str, Path]] = None,
+        store_format: Optional[str] = None,
         workers: Optional[int] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
-        self.cache = ResultCache.for_path(store_path, cache_size)
+        self.cache = ResultCache.for_path(
+            store_path, cache_size, format=store_format
+        )
         self.workers = resolve_workers(workers) if workers else None
         self._sessions: dict[str, Session] = {}
         self._session_locks: dict[str, asyncio.Lock] = {}

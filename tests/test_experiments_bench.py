@@ -33,6 +33,9 @@ def tiny_config() -> BenchConfig:
         planning_latency_cells=((24, 10),),
         planning_quality_cells=(16,),
         planning_running=2,
+        storage_cells=400,
+        storage_shards=8,
+        storage_queries=3,
     )
 
 
@@ -64,6 +67,16 @@ class TestRunBench:
         assert "decision snapshots" in text
         assert "serial sweep" in text
         assert "disruption" in text
+        assert "storage" in text
+
+    def test_storage_section_shape(self, tiny_report):
+        sto = tiny_report["metrics"]["storage"]
+        assert sto["n_cells"] == 400
+        assert sto["n_shards"] == 8
+        assert sto["jsonl_query_ms"] > 0
+        assert sto["sharded_query_ms"] > 0
+        assert sto["query_speedup"] > 0
+        assert sto["migrate_wall_s"] >= 0
 
     def test_disruption_section_shape(self, tiny_report):
         dis = tiny_report["metrics"]["disruption"]
@@ -162,6 +175,15 @@ def synthetic_report(**overrides):
                 }
             ],
             "sweep": {"cells": 6, "wall_s": 2.0},
+            "storage": {
+                "n_cells": 100000,
+                "n_shards": 64,
+                "n_queries": 5,
+                "migrate_wall_s": 2.0,
+                "jsonl_query_ms": 1600.0,
+                "sharded_query_ms": 20.0,
+                "query_speedup": 80.0,
+            },
         },
     }
     for path, value in overrides.items():

@@ -20,6 +20,7 @@ class TestExports:
             "repro.core",
             "repro.metrics",
             "repro.experiments",
+            "repro.experiments.storage",
             "repro.analysis",
         ],
     )
