@@ -154,10 +154,14 @@ class ShardedStore:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
         self._shards: dict[int, RunStore] = {}
         #: Superseded-line count per shard since the last compaction —
-        #: the auto-compaction trigger. Per-process and approximate by
-        #: design (another writer's supersedes are not counted here;
-        #: they are counted in *that* process).
-        self._superseded: dict[int, int] = {}
+        #: the auto-compaction trigger. Persisted in the manifest (an
+        #: additive key, older readers ignore it) so the threshold
+        #: stays exact across sweep restarts: a store re-opened after
+        #: 63 supersedes compacts on the next one, instead of silently
+        #: restarting the count at zero.
+        self._superseded: dict[int, int] = (
+            self._parse_superseded(manifest) if manifest else {}
+        )
 
     # -- manifest --------------------------------------------------------
     @property
@@ -193,13 +197,55 @@ class ShardedStore:
             )
         return payload
 
+    @staticmethod
+    def _parse_superseded(manifest: dict[str, Any]) -> dict[int, int]:
+        """Per-shard supersede counters from a manifest payload.
+
+        Tolerant by construction (the manifest may predate the key, or
+        a hand-edit may have mangled it): unknown shapes read as "no
+        pending supersedes", never as an error — counter loss only
+        delays a compaction, it cannot corrupt data.
+        """
+        raw = manifest.get("superseded")
+        counts: dict[int, int] = {}
+        if isinstance(raw, dict):
+            for key, value in raw.items():
+                try:
+                    index = int(key)
+                except (TypeError, ValueError):
+                    continue
+                if isinstance(value, int) and value > 0:
+                    counts[index] = value
+        return counts
+
+    def _merge_persisted_superseded(self) -> None:
+        """Refresh the in-memory counters from disk (persisted values
+        win): called under a shard's append lock, where the manifest's
+        count for *that* shard is authoritative — every writer updates
+        it under the same lock. Other shards' counts ride along so a
+        rewrite never zeroes a sibling writer's progress."""
+        try:
+            manifest = self._read_manifest()
+        except ValueError:
+            return
+        if manifest is not None:
+            self._superseded.update(self._parse_superseded(manifest))
+
     def _manifest_payload(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "format": STORE_FORMAT,
             "manifest_version": MANIFEST_VERSION,
             "schema_version": SCHEMA_VERSION,
             "n_shards": self.n_shards,
         }
+        counts = {
+            str(index): count
+            for index, count in sorted(self._superseded.items())
+            if count > 0
+        }
+        if counts:
+            payload["superseded"] = counts
+        return payload
 
     def _write_manifest(self) -> None:
         """Atomic manifest write (unique temp + ``os.replace``), safe
@@ -301,11 +347,16 @@ class ShardedStore:
                     superseded = False
             shard.append(stored)
             if superseded and self.auto_compact_threshold is not None:
+                self._merge_persisted_superseded()
                 count = self._superseded.get(index, 0) + 1
                 if count >= self.auto_compact_threshold:
                     self._compact_shard(shard)
                     count = 0
                 self._superseded[index] = count
+                # Persist the counter so a restarted sweep resumes the
+                # count instead of restarting it (atomic replace; the
+                # shard lock serializes writers on this shard's count).
+                self._write_manifest()
         return stored
 
     # -- reading ---------------------------------------------------------
@@ -420,6 +471,8 @@ class ShardedStore:
             with self._append_lock(index):
                 total += self._compact_shard(self._shard(index))
             self._superseded[index] = 0
+        if self.manifest_path.exists():
+            self._write_manifest()
         return total
 
     def doctor(
@@ -449,6 +502,10 @@ class ShardedStore:
             self._shard(index).doctor(dry_run=dry_run, dedupe=dedupe)
             for index in range(self.n_shards)
         )
+        if dedupe and not dry_run:
+            # Dedupe *is* compaction: counters reset with the debt.
+            self._superseded = {}
+            self._write_manifest()
         return ShardedDoctorReport(
             path=self.path,
             shard_reports=reports,

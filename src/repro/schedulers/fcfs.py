@@ -19,8 +19,14 @@ from __future__ import annotations
 from itertools import islice
 from typing import Sequence
 
+import numpy as np
+
 from repro.schedulers.base import BaseScheduler
-from repro.schedulers.recovery import domain_pressures, fits_healthy_domain
+from repro.schedulers.recovery import (
+    domain_pressures,
+    fits_healthy_domain,
+    healthy_domain_mask,
+)
 from repro.sim.actions import Action, BackfillJob, Delay, StartJob
 from repro.sim.job import Job
 from repro.sim.simulator import RunningJob, SystemView
@@ -30,8 +36,18 @@ class FCFSScheduler(BaseScheduler):
     """Strict arrival-order scheduling without backfilling."""
 
     name = "fcfs"
+    supports_columns = True
 
     def decide(self, view: SystemView) -> Action:
+        if self.columnar(view):
+            # Head-only policy: two O(1) scalar probes against the
+            # columnar surface — no per-decision gather even on a deep
+            # queue (the probes read the already-materialized queue
+            # snapshot, so cost is flat either way).
+            cols = view.columns()
+            if cols.fits_at(0):
+                return StartJob(cols.id_at(0))
+            return Delay
         if not view.queued:
             return Delay
         head = view.queued[0]
@@ -104,6 +120,7 @@ class EasyBackfillScheduler(BaseScheduler):
     """
 
     name = "fcfs_backfill"
+    supports_columns = True
 
     def decide(self, view: SystemView) -> Action:
         if not view.queued:
@@ -128,10 +145,35 @@ class EasyBackfillScheduler(BaseScheduler):
             shadow, extra_nodes, extra_mem = head_reservation(
                 head, view.running, view
             )
-        # islice avoids copying the (possibly long) queue tuple per
-        # decision just to skip the head.
         spread_check = bool(view.remaining_runtimes) and view.has_domains
         pressures = domain_pressures(view) if spread_check else ()
+        if self.columnar(view):
+            # Vectorized candidate scan: one boolean mask per facade
+            # predicate, elementwise-identical arithmetic (same 1e-9
+            # slacks, same float64 adds), so the first set bit is the
+            # exact job the scalar scan would have returned.
+            cols = view.columns()
+            ok = cols.fits_mask() & cols.drain_safe_mask()
+            if spread_check:
+                unhealthy = cols.requeued_mask() & ~healthy_domain_mask(
+                    view, cols.nodes, pressures
+                )
+                ok &= ~unhealthy
+            ok &= (view.now + cols.walltime <= shadow + 1e-9) | (
+                (cols.nodes <= extra_nodes)
+                & (cols.memory_gb <= extra_mem + 1e-9)
+            )
+            ok[0] = False  # the head is the reservation, not a candidate
+            hits = np.flatnonzero(ok)
+            if hits.size:
+                self._set_meta(
+                    shadow_time=shadow,
+                    reserved_job=head.job_id,
+                )
+                return BackfillJob(cols.id_at(int(hits[0])))
+            return Delay
+        # islice avoids copying the (possibly long) queue tuple per
+        # decision just to skip the head.
         for job in islice(view.queued, 1, None):
             if not view.can_fit(job) or not view.drain_safe(job):
                 continue

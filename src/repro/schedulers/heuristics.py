@@ -23,8 +23,15 @@ class FirstFitScheduler(BaseScheduler):
     """
 
     name = "first_fit"
+    supports_columns = True
 
     def decide(self, view: SystemView) -> Action:
+        if self.columnar(view):
+            cols = view.columns()
+            hits = np.flatnonzero(cols.fits_mask())
+            if hits.size:
+                return StartJob(cols.id_at(int(hits[0])))
+            return Delay
         # Inlined can_fit with hoisted capacity locals: this scan runs
         # once per decision over the whole queue.
         free_nodes = view.free_nodes
@@ -44,8 +51,22 @@ class LargestFirstScheduler(BaseScheduler):
     """
 
     name = "largest_first"
+    supports_columns = True
 
     def decide(self, view: SystemView) -> Action:
+        if self.columnar(view):
+            cols = view.columns()
+            feasible = np.flatnonzero(cols.fits_mask())
+            if not feasible.size:
+                return Delay
+            # max by (node_seconds, job_id): ids are unique, so the
+            # lexsort's last entry is exactly the facade's max-key job.
+            winner = feasible[
+                np.lexsort(
+                    (cols.ids[feasible], cols.node_seconds[feasible])
+                )[-1]
+            ]
+            return StartJob(cols.id_at(int(winner)))
         # Single pass: track the max feasible job instead of
         # materializing the feasible tuple first.
         free_nodes = view.free_nodes

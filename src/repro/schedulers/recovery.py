@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.sim.job import Job
 from repro.sim.simulator import SystemView
 
@@ -150,6 +152,56 @@ def fits_healthy_domain(
         if job.nodes <= rack_free - drained:
             return True
     return False
+
+
+def healthy_domain_mask(
+    view: SystemView,
+    nodes: np.ndarray,
+    pressures: "tuple[int, ...] | None" = None,
+) -> np.ndarray:
+    """Vectorized :func:`fits_healthy_domain` over a node-count column.
+
+    One boolean per entry of *nodes* (a per-job node-request vector in
+    any order the caller likes), elementwise-identical to calling the
+    scalar predicate per job: the test depends on a job only through
+    its node count, so the three placement levels collapse to three
+    scalar capacity ceilings computed once —
+
+    * single-rack jobs (``nodes <= rack_size``) need the best rack's
+      post-pressure headroom,
+    * switch-group jobs need the best group's summed *positive*
+      headroom (racks at or below their drain pressure contribute
+      nothing, exactly like the scalar loop's ``free > pressure``
+      guard),
+    * group-spanning jobs are vacuously True.
+
+    All-True (no copy semantics beyond one array) when the view has no
+    real failure domains.
+    """
+    n = len(nodes)
+    if not view.has_domains:
+        return np.ones(n, dtype=bool)
+    topo = view.topology
+    if pressures is None:
+        pressures = domain_pressures(view)
+    free = np.asarray(view.domain_free_nodes, dtype=np.int64)
+    if pressures:
+        headroom = free - np.asarray(pressures, dtype=np.int64)
+    else:
+        headroom = free
+    rack_cap = int(headroom.max())
+    rack_size = topo.rack_size
+    group_size = rack_size * topo.racks_per_switch
+    nodes = np.asarray(nodes)
+    mask = nodes <= rack_cap
+    over_rack = nodes > rack_size
+    if over_rack.any():
+        positive = np.maximum(headroom, 0)
+        starts = np.arange(0, topo.n_racks, topo.racks_per_switch)
+        group_cap = int(np.add.reduceat(positive, starts).max())
+        np.copyto(mask, nodes <= group_cap, where=over_rack)
+        mask |= nodes > group_size
+    return mask
 
 
 def spread_requeue(view: SystemView, jobs: Sequence[Job]) -> list[Job]:

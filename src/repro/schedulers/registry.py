@@ -30,6 +30,7 @@ def _annealer_factory(
     seed: int = 0,
     anneal_window: Optional[int] = None,
     config: Optional[AnnealingConfig] = None,
+    use_columns: Optional[bool] = None,
     **kw,
 ) -> AnnealingOptimizer:
     """``ortools_like`` factory; ``anneal_window`` overlays the
@@ -40,18 +41,32 @@ def _annealer_factory(
             if config is not None
             else AnnealingConfig(window=anneal_window)
         )
-    return AnnealingOptimizer(seed=seed, config=config, **kw)
+    return AnnealingOptimizer(
+        seed=seed, config=config, use_columns=use_columns, **kw
+    )
 
 
 SCHEDULER_FACTORIES: Dict[str, SchedulerFactory] = {
-    "fcfs": lambda seed=0, **kw: FCFSScheduler(),
-    "fcfs_backfill": lambda seed=0, **kw: EasyBackfillScheduler(),
-    "sjf": lambda seed=0, **kw: SJFScheduler(strict=True),
-    "sjf_firstfit": lambda seed=0, **kw: SJFScheduler(strict=False),
+    "fcfs": lambda seed=0, use_columns=None, **kw: FCFSScheduler(
+        use_columns=use_columns
+    ),
+    "fcfs_backfill": lambda seed=0, use_columns=None, **kw: (
+        EasyBackfillScheduler(use_columns=use_columns)
+    ),
+    "sjf": lambda seed=0, use_columns=None, **kw: SJFScheduler(
+        strict=True, use_columns=use_columns
+    ),
+    "sjf_firstfit": lambda seed=0, use_columns=None, **kw: SJFScheduler(
+        strict=False, use_columns=use_columns
+    ),
     "ortools_like": _annealer_factory,
     "genetic": lambda seed=0, **kw: GeneticOptimizer(seed=seed, **kw),
-    "first_fit": lambda seed=0, **kw: FirstFitScheduler(),
-    "largest_first": lambda seed=0, **kw: LargestFirstScheduler(),
+    "first_fit": lambda seed=0, use_columns=None, **kw: FirstFitScheduler(
+        use_columns=use_columns
+    ),
+    "largest_first": lambda seed=0, use_columns=None, **kw: (
+        LargestFirstScheduler(use_columns=use_columns)
+    ),
     "random": lambda seed=0, **kw: RandomScheduler(seed=seed),
 }
 
@@ -61,10 +76,32 @@ SCHEDULER_FACTORIES: Dict[str, SchedulerFactory] = {
 #: policy, and its cell identity, untouched.
 WINDOW_AWARE_SCHEDULERS: frozenset[str] = frozenset({"ortools_like"})
 
+#: Schedulers with a columnar decision kernel (``supports_columns`` on
+#: the class). Columnar is the default for these; ``use_columns=False``
+#: at construction selects the byte-identical facade twin the parity
+#: tests diff against.
+COLUMNAR_SCHEDULERS: frozenset[str] = frozenset(
+    {
+        "fcfs",
+        "fcfs_backfill",
+        "sjf",
+        "sjf_firstfit",
+        "first_fit",
+        "largest_first",
+        "ortools_like",
+        "genetic",
+    }
+)
+
 
 def supports_anneal_window(name: str) -> bool:
     """Does the named scheduler consume the ``anneal_window`` option?"""
     return name in WINDOW_AWARE_SCHEDULERS
+
+
+def supports_columns(name: str) -> bool:
+    """Does the named scheduler have a columnar decision kernel?"""
+    return name in COLUMNAR_SCHEDULERS
 
 
 def register_scheduler(name: str, factory: SchedulerFactory) -> None:

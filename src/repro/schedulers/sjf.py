@@ -12,6 +12,10 @@ useful as an ablation.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.schedulers.base import BaseScheduler
 from repro.sim.actions import Action, Delay, StartJob
 from repro.sim.simulator import SystemView
@@ -20,8 +24,16 @@ from repro.sim.simulator import SystemView
 class SJFScheduler(BaseScheduler):
     """Shortest (estimated-runtime) job first."""
 
-    def __init__(self, *, strict: bool = True, use_walltime: bool = True):
-        super().__init__()
+    supports_columns = True
+
+    def __init__(
+        self,
+        *,
+        strict: bool = True,
+        use_walltime: bool = True,
+        use_columns: Optional[bool] = None,
+    ):
+        super().__init__(use_columns=use_columns)
         self.strict = strict
         self.use_walltime = use_walltime
         self.name = "sjf" if strict else "sjf_firstfit"
@@ -30,7 +42,29 @@ class SJFScheduler(BaseScheduler):
         runtime = job.walltime if self.use_walltime else job.duration
         return (runtime, job.job_id)
 
+    def _decide_columns(self, view: SystemView) -> Action:
+        cols = view.columns()
+        if not cols.n:
+            return Delay
+        runtime = cols.walltime if self.use_walltime else cols.duration
+        # lexsort's *last* key is primary: runtime ascending, job-id
+        # tie-break — the same total order as sorting (runtime, id)
+        # key tuples, with no per-job lambda call.
+        order = np.lexsort((cols.ids, runtime))
+        if self.strict:
+            pos = int(order[0])
+            if cols.fits_at(pos):
+                return StartJob(cols.id_at(pos))
+            return Delay
+        feasible = cols.fits_mask()[order]
+        hits = np.flatnonzero(feasible)
+        if hits.size:
+            return StartJob(cols.id_at(int(order[int(hits[0])])))
+        return Delay
+
     def decide(self, view: SystemView) -> Action:
+        if self.columnar(view):
+            return self._decide_columns(view)
         if not view.queued:
             return Delay
         ordered = sorted(view.queued, key=self._key)

@@ -1,0 +1,349 @@
+"""Columnar decision layer: vectorized projections of the queue.
+
+PR 6's flat-array engine made the *event loop* queue-depth-insensitive,
+but schedulers still pulled state through per-:class:`~repro.sim.job.Job`
+facades one attribute at a time — the decision path re-materialized
+Python attribute reads the SoA core worked hard to avoid. This module
+is the scheduler-side counterpart: per-job attribute **columns** built
+once per workload, projected onto the current queue as numpy arrays, so
+sort/filter-shaped decision kernels run as argsorts and boolean masks
+instead of per-job key lambdas.
+
+Three layers, matching how often each changes:
+
+* :class:`JobColumns` — one array per job attribute, indexed by
+  workload position. Built **once per run** (lazily, on the first
+  columnar access) and shared by every view of that run; the no-copy
+  property test pins exactly this sharing.
+* :class:`QueueColumns` — the queue-order projection: the engine's
+  live-position selector over the masters. Rebuilt only when the queue
+  actually changes (the same cadence as the cached ``queued`` tuple);
+  gathered columns are cached per rebuild, so a stable backlog pays
+  zero per-decision gather cost.
+* :class:`ViewColumns` — the per-view handle returned by
+  :meth:`~repro.sim.simulator.SystemView.columns`: queue columns plus
+  the view's capacity scalars/vectors and the derived per-decision
+  masks (``fits_mask``), each cached on the view's lifetime.
+
+**Byte-identity is inherited, not re-proven**: columns carry the exact
+float/int values the ``Job`` facades hold (no casts through lower
+precision), so an argsort keyed on ``(column, job_id)`` reproduces a
+``sorted(..., key=...)`` over the same tuples bit for bit. Columnar
+schedulers are digest-pinned against their facade twins on the full
+disruption/topology regime matrix.
+
+Hand-built views (tests, bench harnesses) get the same surface with no
+engine behind them: the fallback builds masters from ``view.queued``
+directly and uses the identity selector, so the gathered columns *are*
+the masters — still zero copies per decision.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.job import Job
+    from repro.sim.simulator import SystemView
+
+#: Gatherable per-job attribute columns, in a fixed order.
+COLUMN_NAMES = (
+    "job_id",
+    "nodes",
+    "memory_gb",
+    "walltime",
+    "duration",
+    "submit_time",
+    "node_seconds",
+)
+
+_INT_COLUMNS = frozenset({"job_id", "nodes"})
+
+#: Queue depth below which columnar kernels defer to their facade
+#: twins. On short steady-state queues numpy dispatch (lexsort, mask
+#: construction, boolean indexing at ~5–15 µs per call) costs more
+#: than it saves over a handful of Python attribute reads; the decision
+#: microbench puts the break-even near this depth. Because both kernels
+#: are byte-identical, switching per decision is invisible to digests —
+#: the crossover tunes constants, never observables.
+COLUMNAR_MIN_QUEUE = 32
+
+
+class JobColumns:
+    """Immutable per-job attribute arrays for one workload.
+
+    Indexed by workload position (the engine's flat-array index), one
+    read-only numpy array per attribute in :data:`COLUMN_NAMES`.
+    ``node_seconds`` is materialized as ``nodes * duration`` with the
+    same int×float IEEE multiply the :class:`Job` property performs,
+    so argsorts over the column reproduce facade key tuples exactly.
+    """
+
+    __slots__ = ("n",) + COLUMN_NAMES
+
+    def __init__(self, jobs: Sequence["Job"]) -> None:
+        n = len(jobs)
+        self.n = n
+        self.job_id = np.fromiter(
+            (j.job_id for j in jobs), np.int64, count=n
+        )
+        self.nodes = np.fromiter((j.nodes for j in jobs), np.int64, count=n)
+        self.memory_gb = np.fromiter(
+            (j.memory_gb for j in jobs), np.float64, count=n
+        )
+        self.walltime = np.fromiter(
+            (j.walltime for j in jobs), np.float64, count=n
+        )
+        self.duration = np.fromiter(
+            (j.duration for j in jobs), np.float64, count=n
+        )
+        self.submit_time = np.fromiter(
+            (j.submit_time for j in jobs), np.float64, count=n
+        )
+        self.node_seconds = self.nodes * self.duration
+        for name in COLUMN_NAMES:
+            getattr(self, name).setflags(write=False)
+
+
+class QueueColumns:
+    """Queue-order projection of :class:`JobColumns`.
+
+    ``sel`` holds the workload positions of the queued jobs in queue
+    order (``None`` means the identity selector: masters already *are*
+    queue order — the hand-built-view fallback). Gathers are lazy and
+    cached, so they run once per queue change, not once per decision.
+    """
+
+    __slots__ = ("_masters", "_sel", "n", "_gathered")
+
+    def __init__(
+        self,
+        masters: Union[JobColumns, Callable[[], JobColumns]],
+        sel: Optional[Sequence[int]],
+        n: int,
+    ) -> None:
+        self._masters = masters
+        self._sel = sel
+        self.n = n
+        self._gathered: dict[str, np.ndarray] = {}
+
+    @property
+    def masters(self) -> JobColumns:
+        m = self._masters
+        if not isinstance(m, JobColumns):
+            m = self._masters = m()
+        return m
+
+    @property
+    def sel(self) -> np.ndarray:
+        """Workload positions of the queued jobs, queue order."""
+        sel = self._sel
+        if sel is None:
+            sel = np.arange(self.n, dtype=np.int64)
+            sel.setflags(write=False)
+            self._sel = sel
+        elif not isinstance(sel, np.ndarray):
+            sel = np.asarray(sel, dtype=np.int64)
+            sel.setflags(write=False)
+            self._sel = sel
+        return sel
+
+    def col(self, name: str) -> np.ndarray:
+        """Queue-order column *name*; gathered once and cached."""
+        arr = self._gathered.get(name)
+        if arr is None:
+            master = getattr(self.masters, name)
+            if self._sel is None:
+                arr = master
+            else:
+                arr = master[self.sel]
+                arr.setflags(write=False)
+            self._gathered[name] = arr
+        return arr
+
+    def scalar(self, name: str, pos: int):
+        """One queue-position read without forcing a full gather —
+        O(1) even on the first access of a deep queue."""
+        arr = self._gathered.get(name)
+        if arr is not None:
+            return arr[pos]
+        master = getattr(self.masters, name)
+        if self._sel is None:
+            return master[pos]
+        return master[self.sel[pos]]
+
+
+def queue_columns_from_jobs(jobs: Sequence["Job"]) -> QueueColumns:
+    """Fallback projection for hand-built views: masters over exactly
+    the queued jobs, identity selector."""
+    return QueueColumns(JobColumns(jobs), None, len(jobs))
+
+
+class ViewColumns:
+    """The columnar surface of one :class:`SystemView`.
+
+    Queue-order attribute columns (delegated to the underlying
+    :class:`QueueColumns`, shared across unchanged-queue decisions)
+    plus the view's capacity scalars and the vectorized per-decision
+    predicates. One instance per view, cached on the view itself —
+    repeated ``columns()`` calls return the same object, and derived
+    masks are computed at most once per decision point.
+    """
+
+    __slots__ = ("_q", "_view", "_fits", "_eff_walltime", "_requeued")
+
+    def __init__(self, queue_cols: QueueColumns, view: "SystemView") -> None:
+        self._q = queue_cols
+        self._view = view
+        self._fits: Optional[np.ndarray] = None
+        self._eff_walltime: Optional[np.ndarray] = None
+        self._requeued: Optional[np.ndarray] = None
+
+    # -- queue-order attribute columns ---------------------------------
+    @property
+    def n(self) -> int:
+        return self._q.n
+
+    @property
+    def sel(self) -> np.ndarray:
+        return self._q.sel
+
+    @property
+    def masters(self) -> JobColumns:
+        """The shared per-run master arrays (workload order)."""
+        return self._q.masters
+
+    @property
+    def ids(self) -> np.ndarray:
+        return self._q.col("job_id")
+
+    @property
+    def nodes(self) -> np.ndarray:
+        return self._q.col("nodes")
+
+    @property
+    def memory_gb(self) -> np.ndarray:
+        return self._q.col("memory_gb")
+
+    @property
+    def walltime(self) -> np.ndarray:
+        return self._q.col("walltime")
+
+    @property
+    def duration(self) -> np.ndarray:
+        return self._q.col("duration")
+
+    @property
+    def submit_time(self) -> np.ndarray:
+        return self._q.col("submit_time")
+
+    @property
+    def node_seconds(self) -> np.ndarray:
+        return self._q.col("node_seconds")
+
+    # -- capacity scalars/vectors --------------------------------------
+    @property
+    def free_nodes(self) -> int:
+        return self._view.free_nodes
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self._view.free_memory_gb
+
+    @property
+    def domain_free_nodes(self) -> np.ndarray:
+        """Free node count per rack as an int64 vector (empty for
+        flat/absent topologies, like the view field it mirrors)."""
+        return np.asarray(self._view.domain_free_nodes, dtype=np.int64)
+
+    # -- O(1) scalar probes (no gather, no numpy boxing) ---------------
+    # Single-position reads go through the view's queued tuple: the
+    # engine materializes it for every view anyway, and its Python
+    # scalars compare ~5× faster than boxed numpy scalars pulled out
+    # of the masters. Identical values either way — the columns are
+    # built from these very attributes.
+    def id_at(self, pos: int) -> int:
+        return self._view.queued[pos].job_id
+
+    def fits_at(self, pos: int) -> bool:
+        """``SystemView.can_fit`` for queue position *pos* — O(1),
+        identical arithmetic."""
+        view = self._view
+        job = view.queued[pos]
+        return (
+            job.nodes <= view.free_nodes
+            and job.memory_gb <= view.free_memory_gb + 1e-9
+        )
+
+    # -- vectorized predicates -----------------------------------------
+    def fits_mask(self) -> np.ndarray:
+        """Boolean mask of queued jobs that fit right now — the
+        vectorized twin of ``can_fit`` (same ``+ 1e-9`` slack, same
+        comparisons, elementwise)."""
+        mask = self._fits
+        if mask is None:
+            view = self._view
+            mask = (self.nodes <= view.free_nodes) & (
+                self.memory_gb <= view.free_memory_gb + 1e-9
+            )
+            self._fits = mask
+        return mask
+
+    def effective_walltime_col(self) -> np.ndarray:
+        """Per-job ``SystemView.effective_walltime`` as a column:
+        requested walltime, tightened to the known remaining runtime
+        for checkpoint-restarted jobs. The plain walltime column
+        (no copy) when nothing was restarted."""
+        col = self._eff_walltime
+        if col is None:
+            rem = self._view.remaining_runtimes
+            if not rem:
+                col = self.walltime
+            else:
+                col = self.walltime.copy()
+                ids = self.ids
+                for job_id, remaining in rem.items():
+                    hit = ids == job_id
+                    col[hit] = np.minimum(col[hit], remaining)
+                col.setflags(write=False)
+            self._eff_walltime = col
+        return col
+
+    def requeued_mask(self) -> np.ndarray:
+        """Mask of queued jobs that were evicted and requeued (present
+        in ``remaining_runtimes``) — the population the
+        spread-across-domains restart gate applies to."""
+        mask = self._requeued
+        if mask is None:
+            rem = self._view.remaining_runtimes
+            ids = self.ids
+            if not rem:
+                mask = np.zeros(self.n, dtype=bool)
+            else:
+                mask = np.zeros(self.n, dtype=bool)
+                for job_id in rem:
+                    mask |= ids == job_id
+            self._requeued = mask
+        return mask
+
+    def drain_safe_mask(self) -> np.ndarray:
+        """Mask of queued jobs that are drain-safe right now.
+
+        All-True with no announced drains (the vacuous fast path every
+        undisrupted decision takes, allocation-free beyond one array).
+        With drains pending, the per-job capacity test delegates to the
+        scalar :meth:`SystemView.drain_safe` — drain decision points
+        are rare and the peak-overlap window differs per job, so a
+        faithful scalar loop beats a speculative vectorization here.
+        """
+        view = self._view
+        if not view.upcoming_drains:
+            return np.ones(self.n, dtype=bool)
+        queued = view.queued
+        return np.fromiter(
+            (view.drain_safe(job) for job in queued),
+            dtype=bool,
+            count=self.n,
+        )

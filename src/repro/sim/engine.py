@@ -38,6 +38,7 @@ layout buys on top of the object loop:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from array import array
 from bisect import bisect_left
@@ -46,6 +47,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.sim.actions import ActionKind
+from repro.sim.columns import JobColumns, QueueColumns, ViewColumns
 from repro.sim.constraints import ConstraintChecker
 from repro.sim.disruptions import DrainWindow, PreemptionRecord
 from repro.sim.events import ArrayCalendar, EventKind
@@ -64,6 +66,88 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Job lifecycle codes for the flat state array.
 _PENDING, _QUEUED, _RUNNING, _COMPLETED, _BLOCKED = 0, 1, 2, 3, 4
+
+#: ``SystemView`` field layout the fast view constructor in
+#: :func:`run_soa` writes directly (init fields in declaration order,
+#: then the three lazy caches). Guarded at import so a field added to
+#: the dataclass cannot silently desynchronize the hot path.
+_VIEW_FIELDS = (
+    "now",
+    "queued",
+    "running",
+    "completed_ids",
+    "free_nodes",
+    "free_memory_gb",
+    "total_nodes",
+    "total_memory_gb",
+    "pending_arrivals",
+    "next_arrival_time",
+    "next_completion_time",
+    "blocked_jobs",
+    "nodes_offline",
+    "upcoming_drains",
+    "remaining_runtimes",
+    "topology",
+    "domain_free_nodes",
+    "_queued_index",
+    "_running_sorted",
+    "_columns",
+)
+if tuple(f.name for f in dataclasses.fields(SystemView)) != _VIEW_FIELDS:
+    raise AssertionError(
+        "SystemView fields changed; update run_soa's fast view "
+        "constructor to match"
+    )
+if tuple(f.name for f in dataclasses.fields(RunningJob)) != (
+    "job",
+    "start_time",
+    "runtime",
+):
+    raise AssertionError(
+        "RunningJob fields changed; update run_soa's fast constructor "
+        "in start_running to match"
+    )
+
+
+class QueueChurnCrossover:
+    """Adaptive scalar/vector crossover for queue-snapshot rebuilds.
+
+    ``build_view`` filters the order array down to live queue entries
+    either with a Python loop (cheap on short, mostly-live scans) or a
+    vectorized mask (cheap on long or stale-heavy scans). The old fixed
+    64-entry crossover priced only *length*; under bursty churn — kills
+    and requeues leaving many stale placed ids between compactions —
+    the scalar loop wastes Python-level work on entries numpy would
+    mask in bulk, so the crossover should drop.
+
+    This helper tracks an EWMA of the observed stale fraction per
+    rebuild and lowers the threshold linearly from :data:`BASE`
+    (all-live queues, the old constant) to :data:`FLOOR` (fully stale
+    scans). Both paths produce identical snapshots and apply the same
+    compaction rule, so the tuning affects constant factors only —
+    never an observable.
+    """
+
+    BASE = 64
+    FLOOR = 16
+    #: EWMA smoothing: one burst moves the threshold a quarter of the
+    #: way; sustained churn converges within a handful of rebuilds.
+    ALPHA = 0.25
+
+    __slots__ = ("threshold", "_stale_ewma")
+
+    def __init__(self) -> None:
+        self.threshold: float = float(self.BASE)
+        self._stale_ewma = 0.0
+
+    def observe(self, scanned: int, live: int) -> None:
+        """Record one rebuild that scanned *scanned* order entries and
+        found *live* of them queued; retune the threshold."""
+        if scanned <= 0:
+            return
+        stale = 1.0 - live / scanned
+        self._stale_ewma += self.ALPHA * (stale - self._stale_ewma)
+        self.threshold = self.BASE - (self.BASE - self.FLOOR) * self._stale_ewma
 
 
 class _SortedIndex:
@@ -297,6 +381,32 @@ def run_soa(
     running_sorted_snapshot: Optional[tuple[RunningJob, ...]] = None
     queued_snapshot: Optional[tuple] = None
 
+    # -- columnar projection (shares the queued_snapshot cadence) -------
+    #: Per-run master columns, built once on first columnar access; the
+    #: selector-based queue projection over them is invalidated exactly
+    #: where queued_snapshot is, so facade tuple and columns can never
+    #: disagree about what is queued.
+    job_columns: Optional[JobColumns] = None
+
+    def get_masters() -> JobColumns:
+        nonlocal job_columns
+        if job_columns is None:
+            job_columns = JobColumns(jobs)
+        return job_columns
+
+    queue_cols: Optional[QueueColumns] = None
+    crossover = QueueChurnCrossover()
+
+    # Static per-run cluster facts, hoisted off the per-decision path.
+    topo: Optional[ClusterTopology] = getattr(cluster, "topology", None)
+    has_domains = topo is not None and not topo.is_flat
+    has_drain_windows = trace is not None and bool(trace.drains)
+    has_offline_attr = hasattr(cluster, "offline_nodes")
+
+    # One CompletedLog per completion-log length, not per view: the
+    # log is append-only, so equal length means identical snapshot.
+    completed_log = CompletedLog(completed_ids)
+
     if hasattr(cluster, "reset"):
         cluster.reset()
     scheduler.reset()
@@ -330,11 +440,12 @@ def run_soa(
         view_cache = None
 
     def enqueue(i: int) -> None:
-        nonlocal n_queued, queued_snapshot
+        nonlocal n_queued, queued_snapshot, queue_cols
         state[i] = _QUEUED
         n_queued += 1
         q_append(i)
         queued_snapshot = None
+        queue_cols = None
 
     def start_running(i: int, start: float) -> None:
         """Allocate job index *i* and schedule its completion."""
@@ -347,7 +458,13 @@ def run_soa(
         cluster.allocate(job)
         full = remaining.get(job.job_id, job.duration)
         runtime = min(full, job.walltime) if sim.enforce_walltime else full
-        run = RunningJob(job, start, runtime=runtime)
+        # Fast construction (cf. the view fast path): runtime is always
+        # resolved here, so the frozen __init__ + __post_init__ dance
+        # is three guarded setattrs for nothing.
+        run = RunningJob.__new__(RunningJob)
+        run.__dict__.update(
+            {"job": job, "start_time": start, "runtime": runtime}
+        )
         running_objs[job.job_id] = run
         wt_key = start + job.walltime
         wt_index.insert(wt_key, place_seq, job.job_id)
@@ -457,10 +574,16 @@ def run_soa(
             kill_running(victim, drain.start, "drain", drain.domain)
         invalidate_view()
 
+    pop_due = cal.pop_due
+
     def process_events_at(time: float) -> None:
         nonlocal pending_arrivals, last_announce, announce_pending
         nonlocal n_queued, n_blocked, queued_snapshot, view_cache
-        for event_time, kind, payload in cal.pop_until(time):
+        while True:
+            event = pop_due(time)
+            if event is None:
+                return
+            event_time, kind, payload = event
             view_cache = None
             if kind == K_COMPLETION:
                 job = jobs[payload]
@@ -547,6 +670,7 @@ def run_soa(
     def build_view() -> SystemView:
         nonlocal view_cache, prev_view, running_snapshot
         nonlocal running_sorted_snapshot, queued_snapshot, order_len
+        nonlocal queue_cols, completed_log
         if view_cache is not None:
             return view_cache
         next_arrival: Optional[float] = None
@@ -559,64 +683,87 @@ def run_soa(
             next_completion = end_index.min_key()
         reused_queue = queued_snapshot is not None
         if not reused_queue:
-            if order_len <= 64:
+            if order_len <= crossover.threshold:
                 # Scalar path: on a short queue (the steady-state
                 # regime) vectorized masking costs more in numpy
-                # dispatch than it saves.
+                # dispatch than it saves. The crossover adapts to the
+                # observed churn rate (see QueueChurnCrossover).
                 live_l = [
                     i
                     for i in order[:order_len].tolist()
                     if state[i] == _QUEUED
                 ]
+                crossover.observe(order_len, len(live_l))
                 if order_len > 2 * len(live_l) + 8:
                     order[: len(live_l)] = live_l
                     order_len = len(live_l)
                 queued_snapshot = tuple(map(jobs.__getitem__, live_l))
+                queue_cols = QueueColumns(
+                    get_masters, live_l, len(live_l)
+                )
             else:
                 live = order[:order_len]
                 live = live[state_np[live] == _QUEUED]
+                crossover.observe(order_len, live.size)
                 if order_len > 2 * live.size + 8:
                     order[: live.size] = live
                     order_len = int(live.size)
                 queued_snapshot = tuple(map(jobs.__getitem__, live.tolist()))
+                # `live` is a fresh boolean-index copy, never a view of
+                # the order array — safe to hold as the selector.
+                queue_cols = QueueColumns(get_masters, live, int(live.size))
         if running_snapshot is None:
             running_snapshot = tuple(running_objs.values())
             running_sorted_snapshot = tuple(
                 map(running_objs.__getitem__, wt_index.ids())
             )
         drains: tuple[DrainWindow, ...] = ()
-        if trace is not None and trace.drains:
+        if has_drain_windows:
             drains = tuple(
                 d for d in trace.drains if d.announce_time <= now < d.end
             )
-        topo: Optional[ClusterTopology] = getattr(cluster, "topology", None)
         domain_free: tuple[int, ...] = ()
-        if topo is not None and not topo.is_flat:
+        if has_domains:
             domain_free = tuple(cluster.domain_free_nodes())
-        view_cache = SystemView(
-            now=now,
-            queued=queued_snapshot,
-            running=running_snapshot,
-            completed_ids=CompletedLog(completed_ids),
-            free_nodes=cluster.free_nodes,
-            free_memory_gb=cluster.free_memory_gb,
-            total_nodes=cluster.total_nodes,
-            total_memory_gb=cluster.total_memory_gb,
-            pending_arrivals=pending_arrivals,
-            next_arrival_time=next_arrival,
-            next_completion_time=next_completion,
-            blocked_jobs=n_blocked,
-            nodes_offline=getattr(cluster, "offline_nodes", 0),
-            upcoming_drains=drains,
-            remaining_runtimes=(
+        # Fast construction: write the instance dict directly instead
+        # of going through the frozen dataclass __init__ (17 guarded
+        # object.__setattr__ calls per decision point). The field
+        # layout is pinned against the dataclass by the import-time
+        # _VIEW_FIELDS check.
+        if len(completed_log) != len(completed_ids):
+            completed_log = CompletedLog(completed_ids)
+        view = SystemView.__new__(SystemView)
+        view.__dict__.update({
+            "now": now,
+            "queued": queued_snapshot,
+            "running": running_snapshot,
+            "completed_ids": completed_log,
+            "free_nodes": cluster.free_nodes,
+            "free_memory_gb": cluster.free_memory_gb,
+            "total_nodes": cluster.total_nodes,
+            "total_memory_gb": cluster.total_memory_gb,
+            "pending_arrivals": pending_arrivals,
+            "next_arrival_time": next_arrival,
+            "next_completion_time": next_completion,
+            "blocked_jobs": n_blocked,
+            "nodes_offline": (
+                cluster.offline_nodes if has_offline_attr else 0
+            ),
+            "upcoming_drains": drains,
+            "remaining_runtimes": (
                 dict(remaining) if remaining else _NO_REMAINING
             ),
-            topology=topo,
-            domain_free_nodes=domain_free,
-        )
-        object.__setattr__(
-            view_cache, "_running_sorted", running_sorted_snapshot
-        )
+            "topology": topo,
+            "domain_free_nodes": domain_free,
+            "_queued_index": None,
+            "_running_sorted": running_sorted_snapshot,
+            # Zero-copy columnar projection: shared masters, selector
+            # gathered at most once per queue change.
+            "_columns": None,
+        })
+        if queue_cols is not None:
+            view.__dict__["_columns"] = ViewColumns(queue_cols, view)
+        view_cache = view
         # Unchanged queue: carry the previous view's lazily-built id
         # index forward so optimizer-style schedulers don't rebuild an
         # O(queue) dict at every decision point of a stable backlog.
@@ -626,9 +773,7 @@ def run_soa(
             and prev_view.queued is queued_snapshot
             and prev_view._queued_index is not None
         ):
-            object.__setattr__(
-                view_cache, "_queued_index", prev_view._queued_index
-            )
+            view.__dict__["_queued_index"] = prev_view._queued_index
         prev_view = view_cache
         return view_cache
 
@@ -719,6 +864,7 @@ def run_soa(
             state[i] = _RUNNING
             n_queued -= 1
             queued_snapshot = None
+            queue_cols = None
             start_running(i, now)  # invalidates the view cache
 
         # Closing-Stop query for narrate-stop agents.

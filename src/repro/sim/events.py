@@ -381,6 +381,33 @@ class ArrayCalendar:
                 return
             yield self.pop()
 
+    def pop_due(self, time: float) -> Optional[tuple[float, int, int]]:
+        """Pop and return the earliest event with ``event time <=
+        time``, or ``None`` — the peek + pop of :meth:`pop_until`
+        fused into one call.
+
+        The engine's event drain runs this once per event plus one
+        ``None`` return per step; the separate peek/pop pair cost three
+        ``_static_key`` resolutions and a generator resumption per
+        event, which is measurable at one step per simulated event.
+        """
+        s = self._static_key()
+        if self._heap:
+            d = self._heap[0]
+            if s is None or (d[0], d[1], d[2]) < s:
+                if d[0] > time:
+                    return None
+                heapq.heappop(self._heap)
+                self._last_popped = (d[0], d[1], d[2])
+                return (d[0], d[1], d[3])
+        if s is None or s[0] > time:
+            return None
+        i = self._cursor
+        self._cursor = i + 1
+        self._head = None
+        self._last_popped = s
+        return (s[0], s[1], self._payloads[i])
+
     def __len__(self) -> int:
         return (self._n_static - self._cursor) + len(self._heap)
 
